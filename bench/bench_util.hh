@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction binaries: canonical
+ * suite instances at bench scale, window sizes, and output plumbing.
+ *
+ * Every figure/table binary prints an ASCII table to stdout and, when
+ * CACHESCOPE_CSV is set in the environment, the same data as CSV to
+ * the file it names (appending a suffix per experiment id).
+ */
+
+#ifndef CACHESCOPE_BENCH_BENCH_UTIL_HH
+#define CACHESCOPE_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cascade_lake.hh"
+#include "graph/gap_suite.hh"
+#include "stats/table.hh"
+#include "workloads/synthetic.hh"
+
+namespace cachescope::bench {
+
+/** Quick mode (CACHESCOPE_QUICK=1): small graphs, short windows. */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("CACHESCOPE_QUICK");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Graph scale used by the MPKI-fidelity experiments (E1, E3). */
+inline unsigned
+fidelityScale()
+{
+    return quickMode() ? 16 : 21;
+}
+
+/**
+ * Graph scale used by the big sweep experiments (E2, E5, E7).
+ *
+ * Large enough that the per-vertex property arrays are an order of
+ * magnitude bigger than the 1.375 MB LLC — on smaller inputs,
+ * scan-resistant policies can pin a sizeable fraction of the property
+ * arrays and show speedups the paper's multi-gigabyte inputs never
+ * allow.
+ */
+inline unsigned
+sweepScale()
+{
+    return quickMode() ? 15 : 21;
+}
+
+/** Measurement window for single-workload fidelity runs. */
+inline SimConfig
+fidelityConfig(const std::string &policy = "lru")
+{
+    return quickMode() ? cascadeLakeConfig(policy, 200'000, 1'000'000)
+                       : cascadeLakeConfig(policy, 1'000'000, 10'000'000);
+}
+
+/** Measurement window for workload x policy sweeps. */
+inline SimConfig
+sweepConfig(const std::string &policy = "lru")
+{
+    return quickMode() ? cascadeLakeConfig(policy, 100'000, 500'000)
+                       : cascadeLakeConfig(policy, 500'000, 5'000'000);
+}
+
+/** The GAP suite at sweep scale (12 workloads: 6 kernels x 2 inputs). */
+inline std::vector<std::shared_ptr<Workload>>
+gapSweepSuite()
+{
+    GapSuiteConfig cfg;
+    cfg.scale = sweepScale();
+    cfg.avgDegree = 8;
+    return makeGapSuite(cfg);
+}
+
+/** The GAP suite at fidelity scale on the Kronecker input only. */
+inline std::vector<std::shared_ptr<Workload>>
+gapFidelitySuite()
+{
+    GapSuiteConfig cfg;
+    cfg.scale = fidelityScale();
+    cfg.avgDegree = 8;
+    cfg.includeUniform = false;
+    return makeGapSuite(cfg);
+}
+
+/**
+ * Print @p table to stdout and, if CACHESCOPE_CSV is set, write CSV to
+ * "<CACHESCOPE_CSV>.<experiment_id>.csv".
+ */
+inline void
+emitTable(const Table &table, const std::string &experiment_id)
+{
+    table.printAscii(std::cout);
+    const char *csv_base = std::getenv("CACHESCOPE_CSV");
+    if (csv_base != nullptr && csv_base[0] != '\0') {
+        const std::string path =
+            std::string(csv_base) + "." + experiment_id + ".csv";
+        std::ofstream out(path);
+        table.printCsv(out);
+        std::cout << "(csv written to " << path << ")\n";
+    }
+}
+
+/** Banner for experiment binaries. */
+inline void
+banner(const std::string &experiment_id, const std::string &what,
+       const std::string &paper_reference)
+{
+    std::cout << "== " << experiment_id << ": " << what << "\n"
+              << "   paper reference: " << paper_reference << "\n"
+              << "   mode: " << (quickMode() ? "quick" : "full") << "\n";
+}
+
+} // namespace cachescope::bench
+
+#endif // CACHESCOPE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Experiment E2 (paper Fig. 3): geometric-mean speedup over the LRU
+ * baseline of the six evaluated LLC replacement policies, per
+ * benchmark suite.
+ *
+ * The paper's headline: SRRIP/DRRIP/SHiP/Hawkeye/Glider/MPPPB all gain
+ * on SPEC 2006 & 2017 (percent-scale geomean wins), but none of them
+ * achieves meaningful speedup on the GAP graph workloads — the
+ * PC-correlation machinery has nothing to learn there.
+ */
+
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+
+using namespace cachescope;
+
+int
+main()
+{
+    bench::banner("fig3",
+                  "geomean speedup over LRU per suite per policy",
+                  "Fig. 3; SPEC-like suites gain, GAP stays ~1.0");
+
+    struct SuiteSpec
+    {
+        std::string name;
+        std::vector<std::shared_ptr<Workload>> workloads;
+    };
+    std::vector<SuiteSpec> suites;
+    suites.push_back({"spec06-like", makeSpec06Suite()});
+    suites.push_back({"spec17-like", makeSpec17Suite()});
+    suites.push_back({"gap", bench::gapSweepSuite()});
+
+    std::vector<std::string> policies = {"lru"};
+    for (const auto &p : paperPolicies())
+        policies.push_back(p);
+
+    Table table({"suite", "srrip", "drrip", "ship", "hawkeye", "glider",
+                 "mpppb"});
+    SuiteRunner runner(bench::sweepConfig(), /*jobs=*/0);
+    for (const auto &suite : suites) {
+        std::fprintf(stderr, "suite %s (%zu workloads):\n",
+                     suite.name.c_str(), suite.workloads.size());
+        const SweepResults results = runner.run(suite.workloads, policies);
+        table.newRow();
+        table.addCell(suite.name);
+        for (const auto &policy : paperPolicies())
+            table.addNumber(geomeanSpeedup(results, policy), 4);
+    }
+
+    bench::emitTable(table, "fig3");
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's hot paths:
+ * per-access cost of each replacement policy, the cache lookup path,
+ * the DRAM model, and the RNG. These are engineering benchmarks for
+ * the simulator itself (simulation throughput), not paper experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/cache.hh"
+#include "dram/dram.hh"
+#include "replacement/replacement_policy.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+namespace {
+
+/** LLC-shaped geometry for policy microbenchmarks. */
+CacheGeometry
+llcGeometry()
+{
+    return CacheGeometry{2048, 11, 64};
+}
+
+void
+BM_PolicyAccess(benchmark::State &state, const std::string &name)
+{
+    auto policy = ReplacementPolicyFactory::create(name, llcGeometry());
+    Rng rng(7);
+    std::uint64_t filled = 0;
+    for (auto _ : state) {
+        const auto set = static_cast<std::uint32_t>(rng.nextBounded(2048));
+        const Addr block = rng.nextBounded(1 << 22);
+        const Pc pc = 0x400000 + 4 * rng.nextBounded(128);
+        // 2:1 mix of hits to fills, roughly an LLC's steady state.
+        if (filled % 3 != 2) {
+            policy->update(set, static_cast<std::uint32_t>(filled % 11),
+                           pc, block, AccessType::Load, true);
+        } else {
+            const std::uint32_t way =
+                policy->findVictim(set, pc, block, AccessType::Load);
+            if (way != ReplacementPolicy::kBypassWay) {
+                policy->update(set, way, pc, block, AccessType::Load,
+                               false);
+            }
+        }
+        ++filled;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    struct Sink : MemoryLevel
+    {
+        Cycle access(Addr, Pc, AccessType, Cycle now) override
+        {
+            return now + 100;
+        }
+        const std::string &levelName() const override { return name; }
+        std::string name = "sink";
+    } below;
+    CacheConfig cfg;
+    cfg.name = "bm";
+    cfg.sizeBytes = 1408 * 1024;
+    cfg.numWays = 11;
+    Cache cache(cfg, &below);
+    // Warm one block and hammer it.
+    cache.access(0x1000, 1, AccessType::Load, 0);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(0x1000, 1, AccessType::Load, now++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheAccessStreamMiss(benchmark::State &state)
+{
+    struct Sink : MemoryLevel
+    {
+        Cycle access(Addr, Pc, AccessType, Cycle now) override
+        {
+            return now + 100;
+        }
+        const std::string &levelName() const override { return name; }
+        std::string name = "sink";
+    } below;
+    CacheConfig cfg;
+    cfg.name = "bm";
+    cfg.sizeBytes = 1408 * 1024;
+    cfg.numWays = 11;
+    Cache cache(cfg, &below);
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addr, 1, AccessType::Load, now++));
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DramRandomAccess(benchmark::State &state)
+{
+    DramModel dram(DramConfig::ddr4_2933());
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.nextBounded(8ull << 30) & ~Addr{63};
+        now = dram.read(addr, now);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_RngZipf(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.nextZipf(1 << 20, 0.9));
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // anonymous namespace
+} // namespace cachescope
+
+int
+main(int argc, char **argv)
+{
+    using namespace cachescope;
+    for (const auto &name :
+         ReplacementPolicyFactory::availablePolicies()) {
+        benchmark::RegisterBenchmark(
+            ("BM_PolicyAccess/" + name).c_str(),
+            [name](benchmark::State &state) {
+                BM_PolicyAccess(state, name);
+            });
+    }
+    benchmark::RegisterBenchmark("BM_CacheAccessHit", BM_CacheAccessHit);
+    benchmark::RegisterBenchmark("BM_CacheAccessStreamMiss",
+                                 BM_CacheAccessStreamMiss);
+    benchmark::RegisterBenchmark("BM_DramRandomAccess",
+                                 BM_DramRandomAccess);
+    benchmark::RegisterBenchmark("BM_RngNext", BM_RngNext);
+    benchmark::RegisterBenchmark("BM_RngZipf", BM_RngZipf);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment E5 (paper per-workload breakdown): speedup over LRU of
+ * every evaluated policy on every GAP workload.
+ *
+ * Expected reproduction shape: individual GAP entries scatter tightly
+ * around 1.00 — a point or two either way — with no policy helping
+ * uniformly; this is the per-workload view behind Fig. 3's flat GAP
+ * geomean.
+ */
+
+#include "bench_util.hh"
+#include "harness/experiment.hh"
+
+using namespace cachescope;
+
+int
+main()
+{
+    bench::banner("tab2", "per-GAP-workload speedup over LRU",
+                  "per-workload breakdown behind Fig. 3");
+
+    const auto suite = bench::gapSweepSuite();
+    std::vector<std::string> policies = {"lru"};
+    for (const auto &p : paperPolicies())
+        policies.push_back(p);
+
+    SuiteRunner runner(bench::sweepConfig(), 0);
+    const SweepResults results = runner.run(suite, policies);
+
+    Table table({"workload", "lru_ipc", "srrip", "drrip", "ship",
+                 "hawkeye", "glider", "mpppb"});
+    for (const auto &workload : suite) {
+        const auto &by_policy = results.at(workload->name());
+        table.newRow();
+        table.addCell(workload->name());
+        table.addNumber(by_policy.at("lru").ipc(), 3);
+        for (const auto &policy : paperPolicies()) {
+            table.addNumber(by_policy.at(policy).ipc() /
+                            by_policy.at("lru").ipc(), 4);
+        }
+    }
+    table.newRow();
+    table.addCell("geomean");
+    table.addCell("-");
+    for (const auto &policy : paperPolicies())
+        table.addNumber(geomeanSpeedup(results, policy), 4);
+
+    bench::emitTable(table, "tab2");
+    return 0;
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cache model implementation.
+ */
+
+#include "core/cache.hh"
+
+#include "dram/dram.hh"
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+std::uint32_t
+CacheConfig::numSets() const
+{
+    if (blockBytes == 0 || !isPowerOf2(blockBytes))
+        fatal("cache '%s': block size must be a power of two", name.c_str());
+    if (numWays == 0)
+        fatal("cache '%s': associativity must be non-zero", name.c_str());
+    const std::uint64_t blocks = sizeBytes / blockBytes;
+    if (blocks == 0 || blocks % numWays != 0)
+        fatal("cache '%s': size %llu not divisible into %u ways",
+              name.c_str(), static_cast<unsigned long long>(sizeBytes),
+              numWays);
+    const std::uint64_t sets = blocks / numWays;
+    if (!isPowerOf2(sets))
+        fatal("cache '%s': derived set count %llu is not a power of two",
+              name.c_str(), static_cast<unsigned long long>(sets));
+    return static_cast<std::uint32_t>(sets);
+}
+
+CacheGeometry
+CacheConfig::geometry() const
+{
+    return CacheGeometry{numSets(), numWays, blockBytes};
+}
+
+std::uint64_t
+CacheStats::demandHits() const
+{
+    return hitsOf(AccessType::Load) + hitsOf(AccessType::Store);
+}
+
+std::uint64_t
+CacheStats::demandMisses() const
+{
+    return missesOf(AccessType::Load) + missesOf(AccessType::Store);
+}
+
+std::uint64_t
+CacheStats::demandAccesses() const
+{
+    return demandHits() + demandMisses();
+}
+
+double
+CacheStats::demandMissRate() const
+{
+    const std::uint64_t total = demandAccesses();
+    return total == 0
+        ? 0.0
+        : static_cast<double>(demandMisses()) / static_cast<double>(total);
+}
+
+Cache::Cache(const CacheConfig &config, MemoryLevel *next)
+    : Cache(config, next,
+            ReplacementPolicyFactory::create(config.replacement,
+                                             config.geometry()))
+{}
+
+Cache::Cache(const CacheConfig &config, MemoryLevel *next,
+             std::unique_ptr<ReplacementPolicy> policy)
+    : cfg(config), sets(config.numSets()),
+      blockBits(floorLog2(config.blockBytes)), below(next),
+      repl(std::move(policy)), prefetch(makePrefetcher(config.prefetcher)),
+      linesArr(static_cast<std::size_t>(sets) * config.numWays)
+{
+    CS_ASSERT(below != nullptr, "cache needs a level below");
+    CS_ASSERT(repl != nullptr, "cache needs a replacement policy");
+    CS_ASSERT(repl->geometry().numSets == sets &&
+              repl->geometry().numWays == cfg.numWays,
+              "policy geometry does not match the cache");
+}
+
+Cache::Line &
+Cache::line(std::uint32_t set, std::uint32_t way)
+{
+    return linesArr[static_cast<std::size_t>(set) * cfg.numWays + way];
+}
+
+const Cache::Line &
+Cache::line(std::uint32_t set, std::uint32_t way) const
+{
+    return linesArr[static_cast<std::size_t>(set) * cfg.numWays + way];
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr block = addr >> blockBits;
+    const std::uint32_t set = static_cast<std::uint32_t>(block & (sets - 1));
+    for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
+        if (line(set, w).valid && line(set, w).block == block)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : linesArr)
+        l = Line{};
+    stats_.reset();
+}
+
+Cycle
+Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
+{
+    const Addr block = addr >> blockBits;
+    const std::uint32_t set = static_cast<std::uint32_t>(block & (sets - 1));
+    const auto type_idx = static_cast<std::size_t>(type);
+    const Cycle lookup_done = now + cfg.hitLatency;
+
+    if (accessHook && type != AccessType::Writeback)
+        accessHook(block, pc, type);
+
+    // Lookup.
+    for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
+        Line &l = line(set, w);
+        if (l.valid && l.block == block) {
+            ++stats_.hits[type_idx];
+            if (type == AccessType::Store || type == AccessType::Writeback)
+                l.dirty = true;
+            if (l.prefetched && type != AccessType::Prefetch) {
+                ++stats_.prefetchesUseful;
+                l.prefetched = false;
+            }
+            repl->update(set, w, pc, block, type, /*hit=*/true);
+            if (type == AccessType::Load || type == AccessType::Store)
+                issuePrefetches(block, pc, /*hit=*/true, now);
+            return lookup_done;
+        }
+    }
+
+    ++stats_.misses[type_idx];
+
+    // Fetch from below. Writebacks carry their own data and prefetches
+    // of already-inflight lines are not modelled, so only demand types
+    // and prefetches go down.
+    Cycle fill_done = lookup_done;
+    if (type != AccessType::Writeback)
+        fill_done = below->access(addr, pc, type, lookup_done);
+
+    // Victim selection: invalid ways fill first without consulting the
+    // policy (matching ChampSim).
+    std::uint32_t victim_way = ReplacementPolicy::kBypassWay;
+    for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
+        if (!line(set, w).valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == ReplacementPolicy::kBypassWay) {
+        victim_way = repl->findVictim(set, pc, block, type);
+        if (victim_way == ReplacementPolicy::kBypassWay) {
+            // Policy elected to bypass: nothing is installed and the
+            // policy is not updated for this access.
+            ++stats_.bypasses;
+            return fill_done;
+        }
+        CS_ASSERT(victim_way < cfg.numWays, "policy returned a bad way");
+
+        Line &victim = line(set, victim_way);
+        ++stats_.evictions;
+        if (victim.dirty) {
+            ++stats_.writebacksIssued;
+            // Off the critical path: latency result ignored.
+            below->access(victim.block << blockBits, 0,
+                          AccessType::Writeback, fill_done);
+        }
+    }
+
+    Line &l = line(set, victim_way);
+    l.block = block;
+    l.valid = true;
+    l.dirty = (type == AccessType::Store || type == AccessType::Writeback);
+    l.prefetched = (type == AccessType::Prefetch);
+    repl->update(set, victim_way, pc, block, type, /*hit=*/false);
+
+    if (type == AccessType::Load || type == AccessType::Store)
+        issuePrefetches(block, pc, /*hit=*/false, now);
+
+    return fill_done;
+}
+
+void
+Cache::issuePrefetches(Addr block, Pc pc, bool hit, Cycle now)
+{
+    if (!prefetch)
+        return;
+    prefetchScratch.clear();
+    prefetch->onAccess(block, pc, hit, prefetchScratch);
+    for (Addr target : prefetchScratch) {
+        if (contains(target << blockBits))
+            continue;
+        ++stats_.prefetchesIssued;
+        // Off the critical path; timing result ignored. The Prefetch
+        // access type keeps this from re-triggering the prefetcher.
+        access(target << blockBits, pc, AccessType::Prefetch, now);
+    }
+}
+
+DramLevel::DramLevel(DramModel &dram) : dram(dram) {}
+
+Cycle
+DramLevel::access(Addr addr, Pc, AccessType type, Cycle now)
+{
+    if (type == AccessType::Writeback)
+        return dram.write(addr, now);
+    return dram.read(addr, now);
+}
+
+} // namespace cachescope

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The set-associative cache model.
+ *
+ * Write-back, write-allocate, non-inclusive (ChampSim's default LLC
+ * arrangement). Replacement is delegated to a ReplacementPolicy; the
+ * level below is reached through the MemoryLevel interface so caches
+ * and the DRAM adapter compose into an arbitrary-depth hierarchy.
+ *
+ * Timing: access() returns the cycle at which the requested data is
+ * available. A hit costs the level's hit latency; a miss adds the level
+ * below recursively. Writebacks update lower-level state but never
+ * contribute to the returned (critical-path) latency.
+ */
+
+#ifndef CACHESCOPE_CORE_CACHE_HH
+#define CACHESCOPE_CORE_CACHE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "replacement/replacement_policy.hh"
+#include "util/types.hh"
+
+namespace cachescope {
+
+/** Anything a cache can forward misses to. */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /**
+     * Access this level.
+     * @param addr full byte address.
+     * @param pc PC of the causing instruction (0 for writebacks).
+     * @param type access type.
+     * @param now cycle the request arrives.
+     * @return cycle at which the data is available.
+     */
+    virtual Cycle access(Addr addr, Pc pc, AccessType type, Cycle now) = 0;
+
+    /** @return a short display name ("L1D", "DRAM", ...). */
+    virtual const std::string &levelName() const = 0;
+};
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t numWays = 8;
+    std::uint32_t blockBytes = 64;
+    /** Latency added by a lookup at this level (hit cost). */
+    Cycle hitLatency = 4;
+    /** Replacement policy registry name. */
+    std::string replacement = "lru";
+    /** Prefetcher name ("none", "next_line", "stride", "streamer"). */
+    std::string prefetcher = "none";
+
+    /** @return derived number of sets; fatal() if the shape is invalid. */
+    std::uint32_t numSets() const;
+
+    /** @return the geometry handed to the replacement policy. */
+    CacheGeometry geometry() const;
+};
+
+/** Counters exported by one cache level. */
+struct CacheStats
+{
+    static constexpr std::size_t kNumTypes = 4;
+
+    std::uint64_t hits[kNumTypes] = {};
+    std::uint64_t misses[kNumTypes] = {};
+    std::uint64_t bypasses = 0;
+    std::uint64_t writebacksIssued = 0;  ///< dirty evictions sent below
+    std::uint64_t evictions = 0;
+    std::uint64_t prefetchesIssued = 0;  ///< prefetch fills requested
+    std::uint64_t prefetchesUseful = 0;  ///< prefetched lines later hit
+
+    std::uint64_t hitsOf(AccessType t) const
+    {
+        return hits[static_cast<std::size_t>(t)];
+    }
+    std::uint64_t missesOf(AccessType t) const
+    {
+        return misses[static_cast<std::size_t>(t)];
+    }
+
+    /** Demand = loads + stores (what MPKI counts; no WB, no prefetch). */
+    std::uint64_t demandHits() const;
+    std::uint64_t demandMisses() const;
+    std::uint64_t demandAccesses() const;
+    double demandMissRate() const;
+
+    void reset() { *this = CacheStats{}; }
+};
+
+/**
+ * One cache level.
+ */
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * Build a cache whose replacement policy is created by name from
+     * @p config.replacement.
+     * @param next the level below (not owned; may not be null).
+     */
+    Cache(const CacheConfig &config, MemoryLevel *next);
+
+    /** Build a cache with an explicitly injected policy (Belady). */
+    Cache(const CacheConfig &config, MemoryLevel *next,
+          std::unique_ptr<ReplacementPolicy> policy);
+
+    Cycle access(Addr addr, Pc pc, AccessType type, Cycle now) override;
+    const std::string &levelName() const override { return cfg.name; }
+
+    /**
+     * Functional probe: @return true iff the block holding @p addr is
+     * resident. Does not touch replacement state or statistics.
+     */
+    bool contains(Addr addr) const;
+
+    const CacheConfig &config() const { return cfg; }
+    const CacheStats &stats() const { return stats_; }
+    ReplacementPolicy &policy() { return *repl; }
+    const ReplacementPolicy &policy() const { return *repl; }
+
+    /** Clear line state and statistics (not policy state). */
+    void invalidateAll();
+    void resetStats() { stats_.reset(); }
+
+    /**
+     * Hook invoked at the start of every demand (non-writeback) access
+     * with (block address, pc, type). Used to record the LLC stream for
+     * the Belady oracle and by tests.
+     */
+    using AccessHook = std::function<void(Addr, Pc, AccessType)>;
+    void setAccessHook(AccessHook hook) { accessHook = std::move(hook); }
+
+  private:
+    struct Line
+    {
+        Addr block = kInvalidAddr; ///< block-aligned address
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;   ///< filled by prefetch, not yet used
+    };
+
+    /** Run the prefetcher after a demand access and issue its picks. */
+    void issuePrefetches(Addr block, Pc pc, bool hit, Cycle now);
+
+    Line &line(std::uint32_t set, std::uint32_t way);
+    const Line &line(std::uint32_t set, std::uint32_t way) const;
+
+    CacheConfig cfg;
+    std::uint32_t sets;
+    unsigned blockBits;
+    MemoryLevel *below;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::unique_ptr<Prefetcher> prefetch;
+    std::vector<Line> linesArr;
+    CacheStats stats_;
+    AccessHook accessHook;
+    std::vector<Addr> prefetchScratch;
+};
+
+/** Adapter presenting a DramModel as the bottom MemoryLevel. */
+class DramModel;
+
+class DramLevel : public MemoryLevel
+{
+  public:
+    explicit DramLevel(DramModel &dram);
+
+    Cycle access(Addr addr, Pc pc, AccessType type, Cycle now) override;
+    const std::string &levelName() const override { return name; }
+
+  private:
+    DramModel &dram;
+    std::string name = "DRAM";
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_CACHE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cascade Lake configuration factory.
+ */
+
+#include "core/cascade_lake.hh"
+
+namespace cachescope {
+
+SimConfig
+cascadeLakeConfig(const std::string &llc_policy, InstCount warmup,
+                  InstCount measure)
+{
+    SimConfig cfg;
+
+    cfg.core.robSize = 352;
+    cfg.core.dispatchWidth = 4;
+    cfg.core.retireWidth = 4;
+
+    cfg.hierarchy.l1i.name = "L1I";
+    cfg.hierarchy.l1i.sizeBytes = 32 * 1024;
+    cfg.hierarchy.l1i.numWays = 8;
+    cfg.hierarchy.l1i.hitLatency = 4;
+    cfg.hierarchy.l1i.replacement = "lru";
+
+    cfg.hierarchy.l1d.name = "L1D";
+    cfg.hierarchy.l1d.sizeBytes = 32 * 1024;
+    cfg.hierarchy.l1d.numWays = 8;
+    cfg.hierarchy.l1d.hitLatency = 5;
+    cfg.hierarchy.l1d.replacement = "lru";
+
+    cfg.hierarchy.l2.name = "L2";
+    cfg.hierarchy.l2.sizeBytes = 1024 * 1024;
+    cfg.hierarchy.l2.numWays = 16;
+    cfg.hierarchy.l2.hitLatency = 10;
+    cfg.hierarchy.l2.replacement = "lru";
+
+    // 1.375 MB = 11 ways x 2048 sets x 64 B, the Cascade Lake
+    // per-core LLC slice the paper simulates.
+    cfg.hierarchy.llc.name = "LLC";
+    cfg.hierarchy.llc.sizeBytes = 11 * 128 * 1024;
+    cfg.hierarchy.llc.numWays = 11;
+    cfg.hierarchy.llc.hitLatency = 20;
+    cfg.hierarchy.llc.replacement = llc_policy;
+
+    cfg.hierarchy.dram = DramConfig::ddr4_2933(/*cpu_freq_ghz=*/4.0);
+
+    cfg.warmupInstructions = warmup;
+    cfg.measureInstructions = measure;
+    return cfg;
+}
+
+} // namespace cachescope

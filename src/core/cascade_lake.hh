@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Factory for the paper's simulated machine: a single Cascade Lake
+ * core with 32 KB L1I/L1D, 1 MB L2, 1.375 MB LLC and 8 GB DDR4-2933.
+ */
+
+#ifndef CACHESCOPE_CORE_CASCADE_LAKE_HH
+#define CACHESCOPE_CORE_CASCADE_LAKE_HH
+
+#include <string>
+
+#include "core/simulator.hh"
+
+namespace cachescope {
+
+/**
+ * @return the paper's experimental setup, with the LLC running
+ * @p llc_policy and standard warmup/measurement windows.
+ *
+ * @param llc_policy replacement policy name for the LLC.
+ * @param warmup warmup instructions (default 1M).
+ * @param measure measured instructions (default 10M; 0 = whole trace).
+ */
+SimConfig cascadeLakeConfig(const std::string &llc_policy = "lru",
+                            InstCount warmup = 1'000'000,
+                            InstCount measure = 10'000'000);
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_CASCADE_LAKE_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * CPU timing model implementation.
+ */
+
+#include "core/cpu_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+void
+CoreStats::reset(Cycle at_cycle)
+{
+    instructions = 0;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    cycles = 0;
+    windowStart = at_cycle;
+}
+
+CpuCore::CpuCore(const CoreConfig &config, CacheHierarchy &hierarchy)
+    : cfg(config), hier(hierarchy), robRetire(config.robSize, 0)
+{
+    CS_ASSERT(cfg.robSize > 0, "ROB must have at least one entry");
+    CS_ASSERT(cfg.dispatchWidth > 0, "dispatch width must be non-zero");
+    CS_ASSERT(cfg.retireWidth > 0, "retire width must be non-zero");
+    CS_ASSERT(cfg.maxOutstandingMisses > 0, "need at least one MSHR");
+    mshrBusyUntil.reserve(cfg.maxOutstandingMisses);
+}
+
+Cycle
+CpuCore::acquireMshr(Cycle at)
+{
+    // Retire MSHRs whose miss already completed.
+    std::erase_if(mshrBusyUntil, [at](Cycle c) { return c <= at; });
+    if (mshrBusyUntil.size() < cfg.maxOutstandingMisses)
+        return at;
+    // All busy: wait for the earliest completion and take its slot.
+    auto earliest = std::min_element(mshrBusyUntil.begin(),
+                                     mshrBusyUntil.end());
+    const Cycle free_at = *earliest;
+    mshrBusyUntil.erase(earliest);
+    return std::max(at, free_at);
+}
+
+void
+CpuCore::completeMshr(Cycle done)
+{
+    mshrBusyUntil.push_back(done);
+}
+
+void
+CpuCore::resetStats()
+{
+    stats_.reset(lastRetire);
+}
+
+void
+CpuCore::onInstruction(const TraceRecord &rec)
+{
+    // --- Dispatch ------------------------------------------------------
+    // Width-limited: a full dispatch group pushes us to the next cycle.
+    if (dispatched >= cfg.dispatchWidth) {
+        ++dispatchCycle;
+        dispatched = 0;
+    }
+
+    // Instruction fetch: one L1I access per new fetch block. The
+    // pipelined frontend hides L1I hit latency; only misses (fetches
+    // slower than an L1I hit) stall dispatch until the line arrives.
+    if (cfg.simulateFetch) {
+        const Pc block = rec.pc >> 6;
+        if (block != lastFetchBlock) {
+            const Cycle fetch_done = hier.fetch(rec.pc, dispatchCycle);
+            const Cycle hit_cost = hier.l1i().config().hitLatency;
+            fetchReady = fetch_done > dispatchCycle + hit_cost
+                ? fetch_done : dispatchCycle;
+            lastFetchBlock = block;
+        }
+    }
+
+    // The ROB bounds run-ahead: this instruction reuses the slot of the
+    // instruction robSize older, so it cannot dispatch before that one
+    // retired.
+    const Cycle rob_free =
+        seq >= cfg.robSize ? robRetire[seq % cfg.robSize] : 0;
+    const Cycle ready = std::max({dispatchCycle, rob_free, fetchReady});
+    if (ready > dispatchCycle) {
+        dispatchCycle = ready;
+        dispatched = 0;
+    }
+    ++dispatched;
+
+    // --- Execute -------------------------------------------------------
+    // Memory ops that miss occupy an L1D MSHR; when all MSHRs are busy
+    // the miss waits for the earliest in-flight one to complete. Hits
+    // are unaffected.
+    Cycle done;
+    const Cycle l1d_hit = hier.l1d().config().hitLatency;
+    switch (rec.kind) {
+      case InstKind::Load: {
+        done = hier.load(rec.addr, rec.pc, dispatchCycle);
+        if (done > dispatchCycle + l1d_hit) {
+            const Cycle start = acquireMshr(dispatchCycle);
+            done += start - dispatchCycle;
+            completeMshr(done);
+        }
+        ++stats_.loads;
+        break;
+      }
+      case InstKind::Store: {
+        // Store buffer: the access updates cache/DRAM state and, on a
+        // miss, occupies an MSHR, but retirement does not wait for it.
+        const Cycle store_done =
+            hier.store(rec.addr, rec.pc, dispatchCycle);
+        if (store_done > dispatchCycle + l1d_hit) {
+            const Cycle start = acquireMshr(dispatchCycle);
+            completeMshr(store_done + (start - dispatchCycle));
+        }
+        done = dispatchCycle + 1;
+        ++stats_.stores;
+        break;
+      }
+      case InstKind::Branch:
+        done = dispatchCycle + cfg.branchLatency;
+        ++stats_.branches;
+        break;
+      case InstKind::Alu:
+      default:
+        done = dispatchCycle + cfg.aluLatency;
+        break;
+    }
+
+    // --- Retire (in order, width-limited) --------------------------------
+    Cycle retire = std::max(done, lastRetire);
+    if (retire == lastRetire && retiredInCycle >= cfg.retireWidth) {
+        ++retire;
+    }
+    if (retire == lastRetire) {
+        ++retiredInCycle;
+    } else {
+        retiredInCycle = 1;
+    }
+    lastRetire = retire;
+    robRetire[seq % cfg.robSize] = retire;
+    ++seq;
+
+    ++stats_.instructions;
+    stats_.cycles = lastRetire - stats_.windowStart;
+}
+
+} // namespace cachescope

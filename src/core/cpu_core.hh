@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The CPU timing model.
+ *
+ * A ROB-limit out-of-order model in the spirit of trace-driven limit
+ * studies: instructions dispatch in order at a bounded width, each gets
+ * a completion cycle (memory ops from the hierarchy, everything else a
+ * fixed latency), and retirement is in-order and width-limited. The ROB
+ * bounds how far dispatch may run ahead of retirement, which is what
+ * creates memory-level parallelism: independent misses issued inside
+ * the ROB window overlap in the DRAM model.
+ *
+ * Stores retire through a store buffer (their misses update cache state
+ * and bandwidth but do not stall retirement), loads stall retirement
+ * until data returns — the first-order behaviour that makes LLC
+ * replacement quality visible in IPC.
+ */
+
+#ifndef CACHESCOPE_CORE_CPU_CORE_HH
+#define CACHESCOPE_CORE_CPU_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.hh"
+#include "trace/record.hh"
+
+namespace cachescope {
+
+/** Core parameters (defaults: Cascade Lake-class). */
+struct CoreConfig
+{
+    std::uint32_t robSize = 352;
+    std::uint32_t dispatchWidth = 4;
+    std::uint32_t retireWidth = 4;
+    Cycle aluLatency = 1;
+    Cycle branchLatency = 1;
+    /** Model instruction fetches through the L1I. */
+    bool simulateFetch = true;
+    /**
+     * Maximum in-flight demand misses (L1D fill buffers / MSHRs).
+     * Bounds memory-level parallelism: a load that misses while all
+     * MSHRs are busy waits for the earliest one to free. Cascade
+     * Lake-class cores have 10-12 L1D fill buffers; 12 is the default.
+     */
+    std::uint32_t maxOutstandingMisses = 12;
+};
+
+/** Counters exported by the core. */
+struct CoreStats
+{
+    InstCount instructions = 0;
+    InstCount loads = 0;
+    InstCount stores = 0;
+    InstCount branches = 0;
+    Cycle cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions) /
+              static_cast<double>(cycles);
+    }
+
+    void reset(Cycle at_cycle);
+
+    /** Cycle at which the current measurement window started. */
+    Cycle windowStart = 0;
+};
+
+/**
+ * The core consumes TraceRecords and drives the hierarchy.
+ */
+class CpuCore : public InstructionSink
+{
+  public:
+    CpuCore(const CoreConfig &config, CacheHierarchy &hierarchy);
+
+    void onInstruction(const TraceRecord &rec) override;
+
+    const CoreStats &stats() const { return stats_; }
+    const CoreConfig &config() const { return cfg; }
+
+    /** @return the retire cycle of the most recent instruction. */
+    Cycle currentCycle() const { return lastRetire; }
+
+    /**
+     * Start a fresh measurement window: zero the instruction counters
+     * and measure cycles from the current point. Pipeline and cache
+     * state are preserved (that is the whole point of warmup).
+     */
+    void resetStats();
+
+  private:
+    CoreConfig cfg;
+    CacheHierarchy &hier;
+    CoreStats stats_;
+
+    /** Retire cycles of the last robSize instructions (ring). */
+    std::vector<Cycle> robRetire;
+    std::uint64_t seq = 0; ///< instructions dispatched so far (global)
+
+    Cycle dispatchCycle = 0;      ///< cycle of the current dispatch group
+    std::uint32_t dispatched = 0; ///< instructions in that group
+    Cycle lastRetire = 0;
+    std::uint32_t retiredInCycle = 0;
+    Pc lastFetchBlock = kInvalidAddr;
+    Cycle fetchReady = 0;
+
+    /**
+     * Reserve an MSHR for a memory access issued at @p at, returning
+     * the cycle the access may actually start (later than @p at when
+     * all MSHRs are busy). Call completeMshr() with the completion
+     * cycle if the access turned out to be a miss.
+     */
+    Cycle acquireMshr(Cycle at);
+    void completeMshr(Cycle done);
+
+    /** Completion cycles of in-flight misses (size <= max misses). */
+    std::vector<Cycle> mshrBusyUntil;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_CPU_CORE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hierarchy wiring.
+ */
+
+#include "core/hierarchy.hh"
+
+namespace cachescope {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+{
+    build(config, nullptr);
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               std::unique_ptr<ReplacementPolicy> llc_policy)
+{
+    build(config, std::move(llc_policy));
+}
+
+void
+CacheHierarchy::build(const HierarchyConfig &config,
+                      std::unique_ptr<ReplacementPolicy> llc_policy)
+{
+    dramModel = std::make_unique<DramModel>(config.dram);
+    dramLevel = std::make_unique<DramLevel>(*dramModel);
+    if (llc_policy) {
+        llcCache = std::make_unique<Cache>(config.llc, dramLevel.get(),
+                                           std::move(llc_policy));
+    } else {
+        llcCache = std::make_unique<Cache>(config.llc, dramLevel.get());
+    }
+    l2Cache = std::make_unique<Cache>(config.l2, llcCache.get());
+    l1iCache = std::make_unique<Cache>(config.l1i, l2Cache.get());
+    l1dCache = std::make_unique<Cache>(config.l1d, l2Cache.get());
+}
+
+Cycle
+CacheHierarchy::load(Addr addr, Pc pc, Cycle now)
+{
+    return l1dCache->access(addr, pc, AccessType::Load, now);
+}
+
+Cycle
+CacheHierarchy::store(Addr addr, Pc pc, Cycle now)
+{
+    return l1dCache->access(addr, pc, AccessType::Store, now);
+}
+
+Cycle
+CacheHierarchy::fetch(Pc pc, Cycle now)
+{
+    return l1iCache->access(pc, pc, AccessType::Load, now);
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    l1iCache->resetStats();
+    l1dCache->resetStats();
+    l2Cache->resetStats();
+    llcCache->resetStats();
+    dramModel->resetStats();
+}
+
+} // namespace cachescope

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The full memory hierarchy: L1I + L1D over a unified L2 over the LLC
+ * over DDR4, matching the paper's single-core Cascade Lake setup.
+ */
+
+#ifndef CACHESCOPE_CORE_HIERARCHY_HH
+#define CACHESCOPE_CORE_HIERARCHY_HH
+
+#include <memory>
+
+#include "core/cache.hh"
+#include "dram/dram.hh"
+
+namespace cachescope {
+
+/** Configuration of the whole hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+    CacheConfig llc;
+    DramConfig dram;
+};
+
+/**
+ * Owns and wires all levels. The replacement policy under study applies
+ * to the LLC (upper levels stay at LRU, the paper's methodology); pass
+ * a non-default @p llc_policy name via the config, or inject an
+ * instance (Belady) with the second constructor.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Inject a pre-built LLC policy (used for the OPT oracle). */
+    CacheHierarchy(const HierarchyConfig &config,
+                   std::unique_ptr<ReplacementPolicy> llc_policy);
+
+    /** Data read issued by the core. @return data-ready cycle. */
+    Cycle load(Addr addr, Pc pc, Cycle now);
+
+    /** Data write issued by the core. @return completion cycle. */
+    Cycle store(Addr addr, Pc pc, Cycle now);
+
+    /** Instruction fetch. @return fetch-complete cycle. */
+    Cycle fetch(Pc pc, Cycle now);
+
+    Cache &l1i() { return *l1iCache; }
+    Cache &l1d() { return *l1dCache; }
+    Cache &l2() { return *l2Cache; }
+    Cache &llc() { return *llcCache; }
+    DramModel &dram() { return *dramModel; }
+    const Cache &l1i() const { return *l1iCache; }
+    const Cache &l1d() const { return *l1dCache; }
+    const Cache &l2() const { return *l2Cache; }
+    const Cache &llc() const { return *llcCache; }
+    const DramModel &dram() const { return *dramModel; }
+
+    /** Reset statistics on every level (state is preserved). */
+    void resetStats();
+
+  private:
+    void build(const HierarchyConfig &config,
+               std::unique_ptr<ReplacementPolicy> llc_policy);
+
+    std::unique_ptr<DramModel> dramModel;
+    std::unique_ptr<DramLevel> dramLevel;
+    std::unique_ptr<Cache> llcCache;
+    std::unique_ptr<Cache> l2Cache;
+    std::unique_ptr<Cache> l1iCache;
+    std::unique_ptr<Cache> l1dCache;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_HIERARCHY_HH

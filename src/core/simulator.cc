@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulation driver implementation.
+ */
+
+#include "core/simulator.hh"
+
+#include "stats/summary.hh"
+
+namespace cachescope {
+
+double
+SimResult::mpkiL1d() const
+{
+    return mpki(l1d.demandMisses(), core.instructions);
+}
+
+double
+SimResult::mpkiL2() const
+{
+    return mpki(l2.demandMisses(), core.instructions);
+}
+
+double
+SimResult::mpkiLlc() const
+{
+    return mpki(llc.demandMisses(), core.instructions);
+}
+
+double
+SimResult::dramServiceRatio() const
+{
+    const std::uint64_t l1d_misses = l1d.demandMisses();
+    if (l1d_misses == 0)
+        return 0.0;
+    // Demand reads reaching DRAM over the same window; writebacks are
+    // excluded on both sides of the ratio.
+    return static_cast<double>(llc.demandMisses()) /
+           static_cast<double>(l1d_misses);
+}
+
+Simulator::Simulator(const SimConfig &config)
+    : cfg(config), hier(config.hierarchy), cpu(config.core, hier)
+{}
+
+Simulator::Simulator(const SimConfig &config,
+                     std::unique_ptr<ReplacementPolicy> llc_policy)
+    : cfg(config), hier(config.hierarchy, std::move(llc_policy)),
+      cpu(config.core, hier)
+{}
+
+void
+Simulator::onInstruction(const TraceRecord &rec)
+{
+    if (budgetExhausted)
+        return;
+
+    if (!warmupDone && consumed >= cfg.warmupInstructions) {
+        warmupDone = true;
+        hier.resetStats();
+        cpu.resetStats();
+    }
+
+    cpu.onInstruction(rec);
+    ++consumed;
+    if (warmupDone && cfg.measureInstructions != 0 &&
+        consumed >= cfg.warmupInstructions + cfg.measureInstructions) {
+        budgetExhausted = true;
+    }
+}
+
+SimResult
+Simulator::result() const
+{
+    SimResult r;
+    r.llcPolicy = cfg.hierarchy.llc.replacement;
+    r.llcPolicyState = hier.llc().policy().debugState();
+    r.core = cpu.stats();
+    r.l1i = hier.l1i().stats();
+    r.l1d = hier.l1d().stats();
+    r.l2 = hier.l2().stats();
+    r.llc = hier.llc().stats();
+    r.dram = hier.dram().stats();
+    return r;
+}
+
+} // namespace cachescope

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The top-level simulation driver: core + hierarchy behind an
+ * InstructionSink, with ChampSim-style warmup and measurement windows.
+ */
+
+#ifndef CACHESCOPE_CORE_SIMULATOR_HH
+#define CACHESCOPE_CORE_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/cpu_core.hh"
+#include "core/hierarchy.hh"
+#include "trace/record.hh"
+
+namespace cachescope {
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    CoreConfig core;
+    HierarchyConfig hierarchy;
+    /** Instructions consumed before statistics start counting. */
+    InstCount warmupInstructions = 0;
+    /** Measured instructions after warmup; 0 = until the trace ends. */
+    InstCount measureInstructions = 0;
+};
+
+/** Everything a finished simulation reports. */
+struct SimResult
+{
+    std::string llcPolicy;
+    /** Snapshot of the LLC policy's learned state (may be empty). */
+    std::string llcPolicyState;
+    CoreStats core;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+    DramStats dram;
+
+    double ipc() const { return core.ipc(); }
+    /** Demand MPKI at a given level over the measured window. */
+    double mpkiL1d() const;
+    double mpkiL2() const;
+    double mpkiLlc() const;
+    /** Fraction of L1D demand misses ultimately served by DRAM. */
+    double dramServiceRatio() const;
+};
+
+/**
+ * Drives TraceRecords through a core and hierarchy.
+ *
+ * Usage: construct, push a workload through it (the workload is the
+ * producer), then read result(). wantsMore() turns false once the
+ * measurement budget is consumed so producers can stop early.
+ */
+class Simulator : public InstructionSink
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /** Construct with an injected LLC policy instance (Belady). */
+    Simulator(const SimConfig &config,
+              std::unique_ptr<ReplacementPolicy> llc_policy);
+
+    void onInstruction(const TraceRecord &rec) override;
+    bool wantsMore() const override { return !budgetExhausted; }
+
+    /** @return true once the warmup window has been consumed. */
+    bool inMeasurement() const { return consumed >= cfg.warmupInstructions; }
+
+    InstCount instructionsConsumed() const { return consumed; }
+
+    CacheHierarchy &hierarchy() { return hier; }
+    CpuCore &core() { return cpu; }
+
+    /** Snapshot the statistics of the measured window. */
+    SimResult result() const;
+
+  private:
+    SimConfig cfg;
+    CacheHierarchy hier;
+    CpuCore cpu;
+    InstCount consumed = 0;
+    bool warmupDone = false;
+    bool budgetExhausted = false;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_SIMULATOR_HH

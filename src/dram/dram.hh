@@ -1,0 +1,155 @@
+/**
+ * @file
+ * DDR4 SDRAM timing model.
+ *
+ * This is a bank-state model in the style of ChampSim's DRAM controller:
+ * each bank tracks its open row and next-ready cycle, each channel tracks
+ * data-bus occupancy, and a request's latency is derived from the DDR4
+ * timing parameters (tCAS/tRCD/tRP) plus queueing behind earlier requests
+ * to the same bank or bus. It is cycle-approximate, not a full command
+ * scheduler — sufficient for studying LLC replacement, where what matters
+ * is that DRAM is slow, row hits are cheaper, and bank contention grows
+ * with miss pressure.
+ */
+
+#ifndef CACHESCOPE_DRAM_DRAM_HH
+#define CACHESCOPE_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cachescope {
+
+/**
+ * DDR4 organization and timing configuration.
+ *
+ * Timings are expressed in CPU cycles; the factory dramDdr4_2933()
+ * converts from nanoseconds at a given core frequency.
+ */
+struct DramConfig
+{
+    std::uint32_t channels = 1;
+    std::uint32_t ranksPerChannel = 2;
+    std::uint32_t banksPerRank = 16;
+    std::uint64_t rowBytes = 8192;
+    std::uint64_t capacityBytes = 8ull << 30;
+    std::uint32_t blockBytes = 64;
+
+    /** Column access strobe latency (CPU cycles). */
+    Cycle tCas = 55;
+    /** Row-to-column delay (CPU cycles). */
+    Cycle tRcd = 55;
+    /** Row precharge (CPU cycles). */
+    Cycle tRp = 55;
+    /** Data-bus occupancy of one 64 B burst (CPU cycles). */
+    Cycle tBurst = 11;
+    /** Fixed controller/queue pipeline overhead per request (CPU cycles). */
+    Cycle tController = 20;
+
+    /**
+     * Build the paper's memory system: 8 GB DDR4-2933, one channel,
+     * with nanosecond timings converted at @p cpu_freq_ghz.
+     */
+    static DramConfig ddr4_2933(double cpu_freq_ghz = 4.0);
+};
+
+/** Counters exported by the DRAM model. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    /** Buffered writes (writebacks); cost bus bandwidth only. */
+    std::uint64_t writes = 0;
+    /** Row-buffer outcome counters; reads only (writes are buffered). */
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;     ///< bank had no open row
+    std::uint64_t rowConflicts = 0;  ///< bank had a different row open
+    Cycle totalLatency = 0;          ///< sum of request latencies
+
+    std::uint64_t accesses() const { return reads + writes; }
+    double
+    avgLatency() const
+    {
+        return accesses() == 0
+            ? 0.0
+            : static_cast<double>(totalLatency) /
+              static_cast<double>(accesses());
+    }
+    /** Fraction of reads hitting an open row. */
+    double
+    rowHitRate() const
+    {
+        return reads == 0
+            ? 0.0
+            : static_cast<double>(rowHits) / static_cast<double>(reads);
+    }
+};
+
+/**
+ * The DRAM device + controller model. Requests are issued with the CPU
+ * cycle at which they reach the memory controller and return the cycle
+ * at which the critical word is delivered.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /**
+     * Issue a read for the block containing @p addr.
+     * @param addr physical byte address.
+     * @param now cycle the request reaches the controller.
+     * @return cycle at which data is available.
+     */
+    Cycle read(Addr addr, Cycle now) { return access(addr, now, false); }
+
+    /** Issue a (writeback) write; returns completion cycle. */
+    Cycle write(Addr addr, Cycle now) { return access(addr, now, true); }
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return cfg; }
+
+    /** Reset all bank/bus state and statistics. */
+    void reset();
+
+    /** Reset statistics only; bank and bus state are preserved. */
+    void resetStats() { stats_ = DramStats{}; }
+
+    /** Decomposed address for tests and debugging. */
+    struct Mapping
+    {
+        std::uint32_t channel;
+        std::uint32_t rank;
+        std::uint32_t bank;
+        std::uint64_t row;
+        std::uint64_t column;
+    };
+
+    /** @return the channel/rank/bank/row/column decomposition of @p addr. */
+    Mapping map(Addr addr) const;
+
+  private:
+    struct BankState
+    {
+        std::uint64_t openRow = ~std::uint64_t{0};
+        bool hasOpenRow = false;
+        Cycle readyCycle = 0;
+    };
+
+    Cycle access(Addr addr, Cycle now, bool is_write);
+
+    DramConfig cfg;
+    DramStats stats_;
+    /** One entry per (channel, rank, bank), flattened. */
+    std::vector<BankState> banks;
+    /** Data-bus next-free cycle, per channel. */
+    std::vector<Cycle> busFree;
+
+    std::uint64_t blocksPerRow;
+    std::uint32_t totalBanksPerChannel;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_DRAM_DRAM_HH

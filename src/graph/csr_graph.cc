@@ -1,0 +1,63 @@
+/**
+ * @file
+ * CSR construction.
+ */
+
+#include "graph/csr_graph.hh"
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+CsrGraph
+CsrGraph::fromEdges(NodeId num_nodes, std::vector<WeightedEdge> edges,
+                    bool symmetrize)
+{
+    if (symmetrize) {
+        const std::size_t original = edges.size();
+        edges.reserve(2 * original);
+        for (std::size_t i = 0; i < original; ++i) {
+            const WeightedEdge &e = edges[i];
+            if (e.src != e.dst)
+                edges.push_back({e.dst, e.src, e.weight});
+        }
+    }
+
+    CsrGraph g;
+    g.n = num_nodes;
+    g.offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+
+    for (const WeightedEdge &e : edges) {
+        CS_ASSERT(e.src < num_nodes && e.dst < num_nodes,
+                  "edge endpoint out of range");
+        ++g.offsets[e.src + 1];
+    }
+    for (std::size_t v = 1; v <= num_nodes; ++v)
+        g.offsets[v] += g.offsets[v - 1];
+
+    g.neigh.resize(edges.size());
+    g.wts.resize(edges.size());
+    std::vector<EdgeId> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    for (const WeightedEdge &e : edges) {
+        const EdgeId slot = cursor[e.src]++;
+        g.neigh[slot] = e.dst;
+        g.wts[slot] = e.weight;
+    }
+    return g;
+}
+
+CsrGraph
+CsrGraph::transpose() const
+{
+    std::vector<WeightedEdge> reversed;
+    reversed.reserve(neigh.size());
+    for (NodeId v = 0; v < n; ++v) {
+        const auto nbrs = neighbors(v);
+        const auto ws = weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            reversed.push_back({nbrs[i], v, ws[i]});
+    }
+    return fromEdges(n, std::move(reversed), /*symmetrize=*/false);
+}
+
+} // namespace cachescope

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * GAP suite construction.
+ */
+
+#include "graph/gap_suite.hh"
+
+#include "graph/generators.hh"
+
+namespace cachescope {
+
+std::vector<std::shared_ptr<Workload>>
+makeGapSuite(const GapSuiteConfig &config)
+{
+    std::vector<GapKernel> kernels = config.kernels;
+    if (kernels.empty()) {
+        kernels = {GapKernel::Bfs, GapKernel::PageRank, GapKernel::Cc,
+                   GapKernel::Bc, GapKernel::Sssp, GapKernel::Tc};
+    }
+
+    struct Input
+    {
+        std::string tag;
+        std::shared_ptr<const CsrGraph> graph;
+    };
+    std::vector<Input> inputs;
+    if (config.includeKron) {
+        inputs.push_back(
+            {"kron" + std::to_string(config.scale),
+             std::make_shared<const CsrGraph>(makeKronecker(
+                 config.scale, config.avgDegree, config.seed))});
+    }
+    if (config.includeUniform) {
+        inputs.push_back(
+            {"urand" + std::to_string(config.scale),
+             std::make_shared<const CsrGraph>(makeUniform(
+                 config.scale, config.avgDegree, config.seed + 1))});
+    }
+
+    std::vector<std::shared_ptr<Workload>> suite;
+    std::uint32_t next_id = config.firstPcWorkloadId;
+    for (const Input &input : inputs) {
+        for (GapKernel kernel : kernels) {
+            GapKernelParams params = config.kernelParams;
+            params.pcWorkloadId = next_id++;
+            suite.push_back(std::make_shared<GapWorkload>(
+                kernel, input.tag, input.graph, params));
+        }
+    }
+    return suite;
+}
+
+} // namespace cachescope

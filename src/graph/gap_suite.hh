@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GAP suite assembly: builds each synthetic input graph once and wraps
+ * every (kernel, graph) pair as a Workload, mirroring how the paper
+ * runs the GAP benchmark suite over its inputs.
+ */
+
+#ifndef CACHESCOPE_GRAPH_GAP_SUITE_HH
+#define CACHESCOPE_GRAPH_GAP_SUITE_HH
+
+#include <memory>
+#include <vector>
+
+#include "graph/gap_kernels.hh"
+
+namespace cachescope {
+
+/** Suite construction parameters. */
+struct GapSuiteConfig
+{
+    /** log2 vertex count of the generated inputs. */
+    unsigned scale = 19;
+    /** Edges per vertex before symmetrization. */
+    unsigned avgDegree = 8;
+    std::uint64_t seed = 42;
+    /** Include the Kronecker (social-network-like) input. */
+    bool includeKron = true;
+    /** Include the uniform-random input. */
+    bool includeUniform = true;
+    /** Kernels to instantiate; empty = all six. */
+    std::vector<GapKernel> kernels;
+    GapKernelParams kernelParams;
+    /** First PC-region workload id (suites must not overlap regions). */
+    std::uint32_t firstPcWorkloadId = 0;
+};
+
+/** @return one Workload per (kernel, input) pair. */
+std::vector<std::shared_ptr<Workload>>
+makeGapSuite(const GapSuiteConfig &config = {});
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_GRAPH_GAP_SUITE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Graph generator implementations.
+ */
+
+#include "graph/generators.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+
+CsrGraph
+makeKronecker(unsigned scale, unsigned avg_degree, std::uint64_t seed,
+              bool symmetrize, std::uint32_t max_weight)
+{
+    CS_ASSERT(scale > 0 && scale < 31, "unreasonable R-MAT scale");
+    const NodeId n = NodeId{1} << scale;
+    const EdgeId m = static_cast<EdgeId>(n) * avg_degree;
+
+    // Graph500 R-MAT quadrant probabilities.
+    constexpr double a = 0.57, b = 0.19, c = 0.19;
+
+    Rng rng(seed);
+    std::vector<WeightedEdge> edges;
+    edges.reserve(m);
+    for (EdgeId e = 0; e < m; ++e) {
+        NodeId src = 0, dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            if (r < a) {
+                // top-left: neither bit set
+            } else if (r < a + b) {
+                dst |= NodeId{1} << bit;
+            } else if (r < a + b + c) {
+                src |= NodeId{1} << bit;
+            } else {
+                src |= NodeId{1} << bit;
+                dst |= NodeId{1} << bit;
+            }
+        }
+        const auto w = static_cast<std::uint32_t>(
+            1 + rng.nextBounded(max_weight));
+        edges.push_back({src, dst, w});
+    }
+    return CsrGraph::fromEdges(n, std::move(edges), symmetrize);
+}
+
+CsrGraph
+makeUniform(unsigned scale, unsigned avg_degree, std::uint64_t seed,
+            bool symmetrize, std::uint32_t max_weight)
+{
+    CS_ASSERT(scale > 0 && scale < 31, "unreasonable urand scale");
+    const NodeId n = NodeId{1} << scale;
+    const EdgeId m = static_cast<EdgeId>(n) * avg_degree;
+
+    Rng rng(seed);
+    std::vector<WeightedEdge> edges;
+    edges.reserve(m);
+    for (EdgeId e = 0; e < m; ++e) {
+        const auto src = static_cast<NodeId>(rng.nextBounded(n));
+        const auto dst = static_cast<NodeId>(rng.nextBounded(n));
+        const auto w = static_cast<std::uint32_t>(
+            1 + rng.nextBounded(max_weight));
+        edges.push_back({src, dst, w});
+    }
+    return CsrGraph::fromEdges(n, std::move(edges), symmetrize);
+}
+
+CsrGraph
+makeGrid(NodeId width, NodeId height)
+{
+    CS_ASSERT(width > 1 && height > 1, "grid needs at least 2x2 nodes");
+    const NodeId n = width * height;
+    std::vector<WeightedEdge> edges;
+    edges.reserve(static_cast<std::size_t>(n) * 2);
+    for (NodeId y = 0; y < height; ++y) {
+        for (NodeId x = 0; x < width; ++x) {
+            const NodeId v = y * width + x;
+            const NodeId right = y * width + (x + 1) % width;
+            const NodeId down = ((y + 1) % height) * width + x;
+            edges.push_back({v, right, 1});
+            edges.push_back({v, down, 1});
+        }
+    }
+    return CsrGraph::fromEdges(n, std::move(edges), /*symmetrize=*/true);
+}
+
+} // namespace cachescope

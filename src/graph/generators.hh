@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic graph generators standing in for the GAP reference inputs.
+ *
+ * The GAP suite evaluates on Kronecker (kron) and uniform-random (urand)
+ * synthetic graphs plus real web/social graphs. The kron and urand
+ * generators below follow GAP's constructions (R-MAT with the Graph500
+ * parameters; Erdős–Rényi-style uniform edges); sizes are scaled so the
+ * per-vertex property arrays exceed the simulated 1.375 MB LLC by the
+ * same order the paper's inputs exceed a real one.
+ */
+
+#ifndef CACHESCOPE_GRAPH_GENERATORS_HH
+#define CACHESCOPE_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/csr_graph.hh"
+
+namespace cachescope {
+
+/**
+ * R-MAT / Kronecker generator with Graph500 probabilities
+ * (a=0.57, b=0.19, c=0.19, d=0.05), producing the skewed degree
+ * distribution of social networks.
+ *
+ * @param scale log2 of the vertex count.
+ * @param avg_degree edges generated per vertex (before symmetrizing).
+ * @param seed RNG seed.
+ * @param symmetrize add reverse edges (GAP does for undirected kernels).
+ * @param max_weight weights drawn uniformly from [1, max_weight].
+ */
+CsrGraph makeKronecker(unsigned scale, unsigned avg_degree,
+                       std::uint64_t seed, bool symmetrize = true,
+                       std::uint32_t max_weight = 255);
+
+/** Uniform-random graph (GAP's "urand"), same parameters as above. */
+CsrGraph makeUniform(unsigned scale, unsigned avg_degree,
+                     std::uint64_t seed, bool symmetrize = true,
+                     std::uint32_t max_weight = 255);
+
+/**
+ * 2-D grid graph (4-neighbour torus) — a *regular* graph used by tests
+ * and the PC-entropy bench as the locality-friendly contrast case.
+ */
+CsrGraph makeGrid(NodeId width, NodeId height);
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_GRAPH_GENERATORS_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "harness/experiment.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "replacement/belady.hh"
+#include "stats/summary.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+SimResult
+runOne(Workload &workload, const SimConfig &config)
+{
+    SimConfig cfg = config;
+    cfg.warmupInstructions =
+        std::max(cfg.warmupInstructions, workload.warmupHint());
+    Simulator sim(cfg);
+    workload.run(sim);
+    return sim.result();
+}
+
+SimResult
+runBelady(Workload &workload, const SimConfig &base_config)
+{
+    SimConfig config = base_config;
+    config.warmupInstructions =
+        std::max(config.warmupInstructions, workload.warmupHint());
+
+    // Pass 1: record the LLC demand stream. The stream is independent
+    // of the LLC policy (the levels above are fixed), so any policy
+    // works for recording; use the configured one.
+    auto stream = std::make_shared<std::vector<Addr>>();
+    {
+        Simulator sim(config);
+        sim.hierarchy().llc().setAccessHook(
+            [&stream](Addr block, Pc, AccessType) {
+                stream->push_back(block);
+            });
+        workload.run(sim);
+    }
+
+    // Pass 2: replay against the recorded future.
+    auto oracle = std::make_shared<FutureOracle>(*stream);
+    auto policy = std::make_unique<BeladyPolicy>(
+        config.hierarchy.llc.geometry(), oracle);
+    Simulator sim(config, std::move(policy));
+    workload.run(sim);
+    SimResult result = sim.result();
+    result.llcPolicy = "belady";
+    result.llcPolicyState.clear();
+    return result;
+}
+
+SuiteRunner::SuiteRunner(SimConfig base, unsigned jobs)
+    : base(std::move(base)), jobs(jobs)
+{
+    if (this->jobs == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        this->jobs = hw == 0 ? 1 : hw;
+    }
+}
+
+SweepResults
+SuiteRunner::run(const std::vector<std::shared_ptr<Workload>> &suite,
+                 const std::vector<std::string> &policies) const
+{
+    struct Cell
+    {
+        std::shared_ptr<Workload> workload;
+        std::string policy;
+    };
+    std::vector<Cell> cells;
+    for (const auto &workload : suite)
+        for (const auto &policy : policies)
+            cells.push_back({workload, policy});
+
+    SweepResults results;
+    std::mutex results_mutex;
+    std::atomic<std::size_t> cursor{0};
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            const Cell &cell = cells[i];
+            SimConfig config = base;
+            SimResult result;
+            if (cell.policy == "belady") {
+                result = runBelady(*cell.workload, config);
+            } else {
+                config.hierarchy.llc.replacement = cell.policy;
+                result = runOne(*cell.workload, config);
+            }
+            {
+                std::lock_guard<std::mutex> lock(results_mutex);
+                results[cell.workload->name()][cell.policy] = result;
+                if (verbose_) {
+                    std::fprintf(stderr,
+                                 "  [%zu/%zu] %-24s %-8s ipc=%.3f "
+                                 "llc_mpki=%.2f\n",
+                                 i + 1, cells.size(),
+                                 cell.workload->name().c_str(),
+                                 cell.policy.c_str(), result.ipc(),
+                                 result.mpkiLlc());
+                }
+            }
+        }
+    };
+
+    const unsigned nthreads =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, cells.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+
+    return results;
+}
+
+std::map<std::string, double>
+speedupsOver(const SweepResults &results, const std::string &policy,
+             const std::string &baseline)
+{
+    std::map<std::string, double> out;
+    for (const auto &[workload, by_policy] : results) {
+        auto p = by_policy.find(policy);
+        auto b = by_policy.find(baseline);
+        if (p == by_policy.end() || b == by_policy.end())
+            continue;
+        const double base_ipc = b->second.ipc();
+        if (base_ipc <= 0.0) {
+            warn("workload '%s' has non-positive baseline IPC",
+                 workload.c_str());
+            continue;
+        }
+        out[workload] = p->second.ipc() / base_ipc;
+    }
+    return out;
+}
+
+double
+geomeanSpeedup(const SweepResults &results, const std::string &policy,
+               const std::string &baseline)
+{
+    std::vector<double> ratios;
+    for (const auto &[workload, ratio] : speedupsOver(results, policy,
+                                                      baseline)) {
+        (void)workload;
+        ratios.push_back(ratio);
+    }
+    return ratios.empty() ? 0.0 : geomean(ratios);
+}
+
+const std::vector<std::string> &
+paperPolicies()
+{
+    static const std::vector<std::string> policies = {
+        "srrip", "drrip", "ship", "hawkeye", "glider", "mpppb",
+    };
+    return policies;
+}
+
+} // namespace cachescope

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The experiment harness: runs (workload x policy) grids, including the
+ * two-pass Belady oracle, and aggregates speedups the way the paper
+ * reports them (geometric mean of per-workload IPC ratios over LRU).
+ */
+
+#ifndef CACHESCOPE_HARNESS_EXPERIMENT_HH
+#define CACHESCOPE_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+#include "trace/workload.hh"
+
+namespace cachescope {
+
+/**
+ * Run @p workload through a simulator built from @p config.
+ * @return the measured-window result.
+ */
+SimResult runOne(Workload &workload, const SimConfig &config);
+
+/**
+ * Run @p workload under the offline Belady OPT policy at the LLC.
+ *
+ * Two passes: the first records the LLC demand stream under the
+ * baseline configuration, the second replays with a BeladyPolicy
+ * consulting that future. Requires the workload to be deterministic.
+ */
+SimResult runBelady(Workload &workload, const SimConfig &config);
+
+/** Results of a suite sweep: workload name -> policy name -> result. */
+using SweepResults =
+    std::map<std::string, std::map<std::string, SimResult>>;
+
+/**
+ * Runs workload x policy grids, optionally in parallel.
+ */
+class SuiteRunner
+{
+  public:
+    /**
+     * @param base configuration template; the LLC policy field is
+     *        overridden per grid cell.
+     * @param jobs worker threads (0 = hardware concurrency).
+     */
+    explicit SuiteRunner(SimConfig base, unsigned jobs = 0);
+
+    /** Run every workload under every policy. */
+    SweepResults run(
+        const std::vector<std::shared_ptr<Workload>> &suite,
+        const std::vector<std::string> &policies) const;
+
+    /** Enable/disable per-cell progress lines on stderr. */
+    void setVerbose(bool verbose) { verbose_ = verbose; }
+
+  private:
+    SimConfig base;
+    unsigned jobs;
+    bool verbose_ = true;
+};
+
+/**
+ * @return per-workload speedup of @p policy over @p baseline
+ * (IPC ratio), keyed by workload name.
+ */
+std::map<std::string, double>
+speedupsOver(const SweepResults &results, const std::string &policy,
+             const std::string &baseline = "lru");
+
+/** @return the geometric-mean speedup of @p policy over @p baseline. */
+double geomeanSpeedup(const SweepResults &results, const std::string &policy,
+                      const std::string &baseline = "lru");
+
+/** The six LLC policies the paper evaluates, in its order. */
+const std::vector<std::string> &paperPolicies();
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Result reporting implementation.
+ */
+
+#include "harness/report.hh"
+
+namespace cachescope {
+
+Table
+simResultTable(const SimResult &result)
+{
+    Table table({"metric", "value"});
+    auto row = [&table](const char *metric, double value, int precision) {
+        table.newRow();
+        table.addCell(metric);
+        table.addNumber(value, precision);
+    };
+    row("IPC", result.ipc(), 3);
+    row("instructions", static_cast<double>(result.core.instructions), 0);
+    row("cycles", static_cast<double>(result.core.cycles), 0);
+    row("L1D MPKI", result.mpkiL1d(), 2);
+    row("L2 MPKI", result.mpkiL2(), 2);
+    row("LLC MPKI", result.mpkiLlc(), 2);
+    row("LLC miss rate", result.llc.demandMissRate(), 3);
+    row("L1D-miss DRAM ratio", result.dramServiceRatio(), 3);
+    row("DRAM reads", static_cast<double>(result.dram.reads), 0);
+    row("DRAM writes", static_cast<double>(result.dram.writes), 0);
+    row("DRAM row-hit rate", result.dram.rowHitRate(), 3);
+    row("DRAM avg latency (cyc)", result.dram.avgLatency(), 1);
+    if (result.l2.prefetchesIssued > 0) {
+        row("L2 prefetches issued",
+            static_cast<double>(result.l2.prefetchesIssued), 0);
+        row("L2 prefetch accuracy",
+            static_cast<double>(result.l2.prefetchesUseful) /
+                static_cast<double>(result.l2.prefetchesIssued), 3);
+    }
+    return table;
+}
+
+void
+printSimResult(const SimResult &result, std::ostream &os)
+{
+    simResultTable(result).printAscii(os);
+}
+
+} // namespace cachescope

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared result reporting: the canonical metric table for one
+ * simulation, used by the CLI, the examples and the benches so every
+ * surface prints the same numbers the same way.
+ */
+
+#ifndef CACHESCOPE_HARNESS_REPORT_HH
+#define CACHESCOPE_HARNESS_REPORT_HH
+
+#include <ostream>
+
+#include "core/simulator.hh"
+#include "stats/table.hh"
+
+namespace cachescope {
+
+/** @return the standard metric/value table for @p result. */
+Table simResultTable(const SimResult &result);
+
+/** Print the standard table for @p result to @p os. */
+void printSimResult(const SimResult &result, std::ostream &os);
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_HARNESS_REPORT_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Workload zoo implementation.
+ */
+
+#include "harness/workload_zoo.hh"
+
+#include <map>
+
+#include "graph/gap_suite.hh"
+#include "graph/generators.hh"
+#include "util/logging.hh"
+#include "workloads/synthetic.hh"
+
+namespace cachescope {
+
+namespace {
+
+const std::map<std::string, GapKernel> &
+gapByName()
+{
+    static const std::map<std::string, GapKernel> map = {
+        {"bfs", GapKernel::Bfs},   {"pr", GapKernel::PageRank},
+        {"cc", GapKernel::Cc},     {"bc", GapKernel::Bc},
+        {"sssp", GapKernel::Sssp}, {"tc", GapKernel::Tc},
+    };
+    return map;
+}
+
+const std::map<std::string, SynthPattern> &
+synthByName()
+{
+    static const std::map<std::string, SynthPattern> map = {
+        {"stream_triad", SynthPattern::StreamTriad},
+        {"scan_thrash", SynthPattern::ScanThrash},
+        {"hot_cold", SynthPattern::HotCold},
+        {"pointer_chase", SynthPattern::PointerChase},
+        {"stencil2d", SynthPattern::Stencil2D},
+        {"mixed_phase", SynthPattern::MixedPhase},
+        {"dead_fill", SynthPattern::DeadFill},
+        {"gather_zipf", SynthPattern::GatherZipf},
+        {"tree_search", SynthPattern::TreeSearch},
+        {"small_ws", SynthPattern::SmallWs},
+    };
+    return map;
+}
+
+} // anonymous namespace
+
+std::shared_ptr<Workload>
+makeNamedWorkload(const std::string &name, const ZooOptions &options)
+{
+    // "bfs_do" selects GAP's direction-optimizing BFS variant.
+    const bool bfs_do = name == "bfs_do";
+    const std::string gap_name = bfs_do ? "bfs" : name;
+    if (auto it = gapByName().find(gap_name); it != gapByName().end()) {
+        auto graph = std::make_shared<const CsrGraph>(
+            options.uniformGraph
+                ? makeUniform(options.scale, options.avgDegree,
+                              options.seed)
+                : makeKronecker(options.scale, options.avgDegree,
+                                options.seed));
+        const std::string tag =
+            (options.uniformGraph ? "urand" : "kron") +
+            std::to_string(options.scale);
+        GapKernelParams params;
+        params.directionOptimizingBfs = bfs_do;
+        return std::make_shared<GapWorkload>(it->second, tag, graph,
+                                             params);
+    }
+    if (auto it = synthByName().find(name); it != synthByName().end()) {
+        SynthParams params;
+        params.mainBytes = options.synthMainBytes;
+        params.seed = options.seed;
+        return std::make_shared<SyntheticWorkload>("synth", it->second,
+                                                   params);
+    }
+    fatal("unknown workload '%s' (try one of: bfs bfs_do pr cc bc sssp tc "
+          "stream_triad scan_thrash hot_cold pointer_chase stencil2d "
+          "mixed_phase dead_fill gather_zipf tree_search small_ws)",
+          name.c_str());
+}
+
+std::vector<std::shared_ptr<Workload>>
+makeNamedSuite(const std::string &name, const ZooOptions &options)
+{
+    if (name == "gap") {
+        GapSuiteConfig cfg;
+        cfg.scale = options.scale;
+        cfg.avgDegree = options.avgDegree;
+        cfg.seed = options.seed;
+        return makeGapSuite(cfg);
+    }
+    if (name == "spec06")
+        return makeSpec06Suite();
+    if (name == "spec17")
+        return makeSpec17Suite();
+    fatal("unknown suite '%s' (try: gap, spec06, spec17)", name.c_str());
+}
+
+std::vector<std::string>
+zooWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, kernel] : gapByName()) {
+        (void)kernel;
+        names.push_back(name);
+    }
+    names.push_back("bfs_do");
+    for (const auto &[name, pattern] : synthByName()) {
+        (void)pattern;
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace cachescope

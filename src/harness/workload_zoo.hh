@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Name-based workload construction shared by the CLI tool and the
+ * example programs: "bfs", "pr", ... build GAP kernels on a generated
+ * Kronecker graph; "scan_thrash", "hot_cold", ... build synthetic
+ * kernels; "suite:gap", "suite:spec06", "suite:spec17" build whole
+ * suites.
+ */
+
+#ifndef CACHESCOPE_HARNESS_WORKLOAD_ZOO_HH
+#define CACHESCOPE_HARNESS_WORKLOAD_ZOO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace cachescope {
+
+/** Parameters for name-based construction. */
+struct ZooOptions
+{
+    /** Graph scale for GAP kernels. */
+    unsigned scale = 19;
+    /** Average degree for generated graphs. */
+    unsigned avgDegree = 8;
+    /** Generator seed. */
+    std::uint64_t seed = 42;
+    /** Use the uniform-random generator instead of Kronecker. */
+    bool uniformGraph = false;
+    /** Main working-set size for synthetic kernels. */
+    std::uint64_t synthMainBytes = 8ull << 20;
+};
+
+/**
+ * @return the workload registered under @p name; fatal() for unknown
+ * names. Accepted names: the six GAP kernels (bfs pr cc bc sssp tc),
+ * the ten synthetic patterns (stream_triad scan_thrash hot_cold
+ * pointer_chase stencil2d mixed_phase dead_fill gather_zipf
+ * tree_search small_ws).
+ */
+std::shared_ptr<Workload> makeNamedWorkload(const std::string &name,
+                                            const ZooOptions &options = {});
+
+/**
+ * @return the suite registered under @p name: "gap", "spec06",
+ * "spec17"; fatal() for unknown names.
+ */
+std::vector<std::shared_ptr<Workload>>
+makeNamedSuite(const std::string &name, const ZooOptions &options = {});
+
+/** @return all individual workload names the zoo accepts. */
+std::vector<std::string> zooWorkloadNames();
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_HARNESS_WORKLOAD_ZOO_HH

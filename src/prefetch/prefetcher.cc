@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Prefetcher implementations.
+ */
+
+#include "prefetch/prefetcher.hh"
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+void
+NextLinePrefetcher::onAccess(Addr block_addr, Pc, bool, std::vector<Addr> &out)
+{
+    for (unsigned i = 1; i <= degree; ++i)
+        out.push_back(block_addr + i);
+}
+
+StridePrefetcher::StridePrefetcher(std::uint32_t table_entries,
+                                   unsigned degree)
+    : mask(table_entries - 1), degree(degree), table(table_entries)
+{
+    CS_ASSERT(isPowerOf2(table_entries),
+              "stride table size must be a power of two");
+}
+
+void
+StridePrefetcher::onAccess(Addr block_addr, Pc pc, bool,
+                           std::vector<Addr> &out)
+{
+    Entry &e = table[foldXor(pc >> 2, 16) & mask];
+    if (!e.valid || e.tag != pc) {
+        e.tag = pc;
+        e.lastBlock = block_addr;
+        e.stride = 0;
+        e.confidence = 0;
+        e.valid = true;
+        return;
+    }
+
+    const std::int64_t stride =
+        static_cast<std::int64_t>(block_addr) -
+        static_cast<std::int64_t>(e.lastBlock);
+    if (stride == 0)
+        return; // same block; nothing learned
+
+    if (stride == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        e.stride = stride;
+        e.confidence = 0;
+    }
+    e.lastBlock = block_addr;
+
+    if (e.confidence >= 2) {
+        Addr target = block_addr;
+        for (unsigned i = 0; i < degree; ++i) {
+            target = static_cast<Addr>(
+                static_cast<std::int64_t>(target) + e.stride);
+            out.push_back(target);
+        }
+    }
+}
+
+StreamPrefetcher::StreamPrefetcher(std::uint32_t num_streams,
+                                   unsigned distance)
+    : numStreams(num_streams), distance(distance), streams(num_streams)
+{
+    CS_ASSERT(num_streams > 0, "need at least one stream tracker");
+}
+
+void
+StreamPrefetcher::onAccess(Addr block_addr, Pc, bool,
+                           std::vector<Addr> &out)
+{
+    // Region id at 4 KB granularity; block_addr is already in blocks.
+    const Addr region = block_addr >> (kRegionBits - kBlockBits);
+    ++clock;
+
+    // Find the stream tracking this region, or allocate the LRU one.
+    Stream *victim = &streams[0];
+    for (Stream &s : streams) {
+        if (s.valid && s.region == region) {
+            const int dir = block_addr > s.lastBlock ? 1
+                          : block_addr < s.lastBlock ? -1 : 0;
+            if (dir != 0) {
+                if (dir == s.direction) {
+                    if (s.hits < 255)
+                        ++s.hits;
+                } else {
+                    s.direction = dir;
+                    s.hits = 1;
+                }
+            }
+            s.lastBlock = block_addr;
+            s.lruStamp = clock;
+            // A trained stream (2+ same-direction accesses) runs a
+            // window ahead of the demand pointer.
+            if (s.hits >= 2) {
+                for (unsigned i = 1; i <= distance; ++i) {
+                    const std::int64_t target =
+                        static_cast<std::int64_t>(block_addr) +
+                        s.direction * static_cast<std::int64_t>(i);
+                    if (target >= 0)
+                        out.push_back(static_cast<Addr>(target));
+                }
+            }
+            return;
+        }
+        if (!s.valid || s.lruStamp < victim->lruStamp)
+            victim = &s;
+    }
+
+    victim->region = region;
+    victim->lastBlock = block_addr;
+    victim->direction = 0;
+    victim->hits = 0;
+    victim->lruStamp = clock;
+    victim->valid = true;
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name)
+{
+    if (name.empty() || name == "none")
+        return nullptr;
+    if (name == "next_line")
+        return std::make_unique<NextLinePrefetcher>();
+    if (name == "stride")
+        return std::make_unique<StridePrefetcher>();
+    if (name == "streamer")
+        return std::make_unique<StreamPrefetcher>();
+    fatal("unknown prefetcher '%s'", name.c_str());
+}
+
+std::vector<std::string>
+availablePrefetchers()
+{
+    return {"next_line", "stride", "streamer"};
+}
+
+} // namespace cachescope

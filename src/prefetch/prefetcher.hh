@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Hardware-prefetcher models.
+ *
+ * The paper's configuration (like the CRC2 kits its policies come
+ * from) runs without prefetching, but prefetching is the obvious
+ * follow-up question for memory-bound graph analytics — the sequential
+ * Offset/Neighbour Array scans are prefetchable even though the
+ * Property Array accesses are not. CacheScope therefore models the
+ * three classic prefetchers so the ablation benches can ask how much
+ * of the problem they solve (answer, per the abl_prefetch experiment:
+ * the streaming part only).
+ *
+ * Prefetchers observe the demand-access stream of the cache that owns
+ * them and emit candidate block addresses; the cache issues those as
+ * AccessType::Prefetch fills.
+ */
+
+#ifndef CACHESCOPE_PREFETCH_PREFETCHER_HH
+#define CACHESCOPE_PREFETCH_PREFETCHER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cachescope {
+
+/** Abstract prefetcher interface. */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one demand access to the owning cache.
+     *
+     * @param block_addr block-aligned address accessed.
+     * @param pc PC of the accessing instruction.
+     * @param hit whether the demand access hit.
+     * @param out candidate block addresses to prefetch are appended.
+     */
+    virtual void onAccess(Addr block_addr, Pc pc, bool hit,
+                          std::vector<Addr> &out) = 0;
+};
+
+/**
+ * Next-N-line prefetcher: on every demand access, prefetch the next
+ * @c degree sequential blocks.
+ */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(unsigned degree = 1) : degree(degree) {}
+
+    void onAccess(Addr block_addr, Pc pc, bool hit,
+                  std::vector<Addr> &out) override;
+
+  private:
+    unsigned degree;
+};
+
+/**
+ * IP-stride prefetcher: a PC-indexed table learns per-instruction
+ * strides and prefetches ahead once a stride repeats (2-bit
+ * confidence).
+ */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param table_entries tracked PCs (power of two).
+     * @param degree prefetches issued per confident access.
+     */
+    explicit StridePrefetcher(std::uint32_t table_entries = 256,
+                              unsigned degree = 2);
+
+    void onAccess(Addr block_addr, Pc pc, bool hit,
+                  std::vector<Addr> &out) override;
+
+  private:
+    struct Entry
+    {
+        Pc tag = 0;
+        Addr lastBlock = 0;
+        std::int64_t stride = 0;
+        std::uint8_t confidence = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t mask;
+    unsigned degree;
+    std::vector<Entry> table;
+};
+
+/**
+ * Stream prefetcher: detects ascending/descending access streams
+ * within aligned 4 KB regions and runs a prefetch window ahead of the
+ * demand stream (a simplified L2 streamer).
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param num_streams concurrently tracked streams.
+     * @param distance how far ahead of the demand stream to run.
+     */
+    explicit StreamPrefetcher(std::uint32_t num_streams = 16,
+                              unsigned distance = 4);
+
+    void onAccess(Addr block_addr, Pc pc, bool hit,
+                  std::vector<Addr> &out) override;
+
+  private:
+    struct Stream
+    {
+        Addr region = 0;       ///< 4 KB-aligned region id
+        Addr lastBlock = 0;
+        int direction = 0;     ///< +1 ascending, -1 descending, 0 unset
+        std::uint8_t hits = 0; ///< consecutive in-region accesses
+        std::uint32_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    static constexpr unsigned kRegionBits = 12; // 4 KB
+    static constexpr unsigned kBlockBits = 6;
+
+    std::uint32_t numStreams;
+    unsigned distance;
+    std::uint32_t clock = 0;
+    std::vector<Stream> streams;
+};
+
+/**
+ * Name-based factory ("none" returns nullptr): next_line, stride,
+ * streamer.
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name);
+
+/** @return the registered prefetcher names (excluding "none"). */
+std::vector<std::string> availablePrefetchers();
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Belady's OPT — the offline optimal replacement oracle.
+ *
+ * OPT evicts the resident line whose next use lies farthest in the
+ * future. It needs the future, so it cannot exist in hardware; here it
+ * runs in two passes: pass one records the sequence of block addresses
+ * reaching the LLC (which is replacement-policy-independent, because
+ * the upper levels are fixed at LRU), pass two replays the workload
+ * with this policy consulting the recorded future. Used by the
+ * opt-headroom experiment (E7) to bound what any online policy could
+ * possibly gain.
+ */
+
+#ifndef CACHESCOPE_REPLACEMENT_BELADY_HH
+#define CACHESCOPE_REPLACEMENT_BELADY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/replacement_policy.hh"
+
+namespace cachescope {
+
+/**
+ * Precomputed next-use index over an LLC access stream.
+ *
+ * Build it from the block-address sequence of pass one; it answers
+ * "when is block X next accessed strictly after stream position i?"
+ * in amortized O(1) via per-block cursors.
+ */
+class FutureOracle
+{
+  public:
+    /** Sentinel meaning "never accessed again". */
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    explicit FutureOracle(const std::vector<Addr> &block_stream);
+
+    /**
+     * @return the stream position of the first access to @p block_addr
+     * strictly after @p pos, or kNever.
+     *
+     * Positions passed to nextUseAfter() must be non-decreasing per
+     * block (the replay is monotone), which the cursor design assumes.
+     */
+    std::uint64_t nextUseAfter(Addr block_addr, std::uint64_t pos);
+
+    std::uint64_t streamLength() const { return length; }
+
+  private:
+    struct PerBlock
+    {
+        std::vector<std::uint64_t> positions;
+        std::size_t cursor = 0;
+    };
+
+    std::uint64_t length;
+    std::unordered_map<Addr, PerBlock> index;
+};
+
+/**
+ * The OPT policy. Counts LLC accesses itself to stay aligned with the
+ * recorded stream: pass two must present exactly the same demand
+ * accesses in the same order as pass one.
+ */
+class BeladyPolicy : public ReplacementPolicy
+{
+  public:
+    BeladyPolicy(const CacheGeometry &geometry,
+                 std::shared_ptr<FutureOracle> oracle);
+
+    std::uint32_t findVictim(std::uint32_t set, Pc pc, Addr block_addr,
+                             AccessType type) override;
+    void update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block_addr,
+                AccessType type, bool hit) override;
+
+    std::uint64_t position() const { return pos; }
+
+  private:
+    std::shared_ptr<FutureOracle> oracle;
+    std::uint64_t pos = 0;
+    /** Resident block address per (set, way); kInvalidAddr when empty. */
+    std::vector<Addr> resident;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_REPLACEMENT_BELADY_HH

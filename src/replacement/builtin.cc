@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One-shot registration of every built-in replacement policy.
+ *
+ * Belady's OPT is deliberately absent: it needs a FutureOracle and is
+ * therefore constructed explicitly by the harness, not by name.
+ */
+
+#include <memory>
+
+#include "replacement/basic.hh"
+#include "replacement/dip.hh"
+#include "replacement/glider.hh"
+#include "replacement/hawkeye.hh"
+#include "replacement/mpppb.hh"
+#include "replacement/replacement_policy.hh"
+#include "replacement/rrip.hh"
+#include "replacement/ship.hh"
+
+namespace cachescope {
+
+namespace {
+
+template <typename PolicyType>
+void
+reg(const char *name)
+{
+    ReplacementPolicyFactory::registerPolicy(
+        name, [](const CacheGeometry &g) {
+            return std::make_unique<PolicyType>(g);
+        });
+}
+
+} // anonymous namespace
+
+void
+registerBuiltinPolicies()
+{
+    reg<LruPolicy>("lru");
+    reg<FifoPolicy>("fifo");
+    reg<RandomPolicy>("random");
+    reg<NruPolicy>("nru");
+    reg<TreePlruPolicy>("plru");
+    reg<BipPolicy>("bip");
+    reg<DipPolicy>("dip");
+    reg<SrripPolicy>("srrip");
+    reg<BrripPolicy>("brrip");
+    reg<DrripPolicy>("drrip");
+    reg<ShipPolicy>("ship");
+    reg<HawkeyePolicy>("hawkeye");
+    reg<GliderPolicy>("glider");
+    reg<MpppbPolicy>("mpppb");
+}
+
+} // namespace cachescope

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * DIP — Dynamic Insertion Policy (Qureshi et al., ISCA 2007) — and its
+ * constituent BIP, the pre-RRIP generation of thrash-resistant
+ * replacement. Included alongside the paper's six policies so the
+ * ablation benches can compare the RRIP-era designs against their
+ * ancestors on the same workloads.
+ *
+ * BIP inserts at the LRU position except for 1-in-epsilon fills at
+ * MRU; DIP set-duels traditional LRU insertion against BIP with a PSEL
+ * counter, adapting per workload phase.
+ */
+
+#ifndef CACHESCOPE_REPLACEMENT_DIP_HH
+#define CACHESCOPE_REPLACEMENT_DIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "replacement/replacement_policy.hh"
+
+namespace cachescope {
+
+/**
+ * Timestamp-LRU base with a pluggable insertion position, shared by
+ * BIP and DIP.
+ */
+class LruInsertionBase : public ReplacementPolicy
+{
+  public:
+    explicit LruInsertionBase(const CacheGeometry &geometry);
+
+    std::uint32_t findVictim(std::uint32_t set, Pc pc, Addr block_addr,
+                             AccessType type) override;
+    void update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block_addr,
+                AccessType type, bool hit) override;
+
+  protected:
+    /** @return true to insert at MRU, false to insert at LRU. */
+    virtual bool insertAtMru(std::uint32_t set, AccessType type) = 0;
+
+    /** Hook for DIP's PSEL training on demand-miss fills. */
+    virtual void onMissFill(std::uint32_t set) { (void)set; }
+
+  private:
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> lastUse;
+};
+
+/** Bimodal Insertion Policy: LRU insertion, 1-in-32 at MRU. */
+class BipPolicy : public LruInsertionBase
+{
+  public:
+    static constexpr std::uint32_t kEpsilon = 32;
+
+    explicit BipPolicy(const CacheGeometry &geometry)
+        : LruInsertionBase(geometry)
+    {}
+
+  protected:
+    bool
+    insertAtMru(std::uint32_t, AccessType) override
+    {
+        return ++fillCount % kEpsilon == 0;
+    }
+
+  private:
+    std::uint32_t fillCount = 0;
+};
+
+/** Dynamic Insertion Policy: set-dueling LRU-insertion vs BIP. */
+class DipPolicy : public LruInsertionBase
+{
+  public:
+    static constexpr std::uint32_t kLeadersPerPolicy = 32;
+    static constexpr std::uint32_t kPselBits = 10;
+    static constexpr std::uint32_t kPselMax = (1u << kPselBits) - 1;
+
+    explicit DipPolicy(const CacheGeometry &geometry);
+
+    enum class SetRole : std::uint8_t { LruLeader, BipLeader, Follower };
+    SetRole roleOf(std::uint32_t set) const;
+    std::uint32_t psel() const { return pselCounter; }
+
+    std::string debugState() const override;
+
+  protected:
+    bool insertAtMru(std::uint32_t set, AccessType type) override;
+    void onMissFill(std::uint32_t set) override;
+
+  private:
+    bool bipInsertAtMru();
+
+    std::uint32_t pselCounter = kPselMax / 2;
+    std::uint32_t fillCount = 0;
+    std::uint32_t leaderStride;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_REPLACEMENT_DIP_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Glider implementation.
+ */
+
+#include "replacement/glider.hh"
+
+#include <algorithm>
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+GliderPolicy::GliderPolicy(const CacheGeometry &geometry)
+    : ReplacementPolicy(geometry),
+      lines(static_cast<std::size_t>(geometry.numSets) * geometry.numWays),
+      isvms(kIsvmTables)
+{
+    sampleStride = geom.numSets / kTargetSampledSets;
+    if (sampleStride == 0)
+        sampleStride = 1;
+    pchr.reserve(kHistoryDepth);
+}
+
+GliderPolicy::LineMeta &
+GliderPolicy::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines[static_cast<std::size_t>(set) * geom.numWays + way];
+}
+
+std::uint8_t
+GliderPolicy::rrpvOf(std::uint32_t set, std::uint32_t way) const
+{
+    return lines[static_cast<std::size_t>(set) * geom.numWays + way].rrpv;
+}
+
+std::uint32_t
+GliderPolicy::isvmIndex(Pc pc)
+{
+    return static_cast<std::uint32_t>(foldXor(pc >> 2, kIsvmIndexBits));
+}
+
+std::uint32_t
+GliderPolicy::weightSlot(Pc pc)
+{
+    return static_cast<std::uint32_t>(foldXor(pc >> 2, 4)) &
+           (kWeightsPerIsvm - 1);
+}
+
+bool
+GliderPolicy::isSampledSet(std::uint32_t set) const
+{
+    return set % sampleStride == 0 &&
+           set / sampleStride < kTargetSampledSets;
+}
+
+GliderPolicy::HistorySnapshot
+GliderPolicy::snapshotFor(Pc pc) const
+{
+    HistorySnapshot snap;
+    snap.isvmIndex = isvmIndex(pc);
+    for (Pc hist_pc : pchr) {
+        if (snap.used >= kHistoryDepth)
+            break;
+        snap.slots[snap.used++] =
+            static_cast<std::uint8_t>(weightSlot(hist_pc));
+    }
+    return snap;
+}
+
+std::int32_t
+GliderPolicy::sumOf(const HistorySnapshot &snap) const
+{
+    const Isvm &isvm = isvms[snap.isvmIndex];
+    std::int32_t sum = 0;
+    for (std::uint8_t i = 0; i < snap.used; ++i)
+        sum += isvm.weights[snap.slots[i]];
+    return sum;
+}
+
+void
+GliderPolicy::train(const HistorySnapshot &snap, bool opt_hit)
+{
+    // Perceptron-style update with a margin: only adjust weights while
+    // the prediction is wrong or insufficiently confident.
+    const std::int32_t sum = sumOf(snap);
+    if (opt_hit && sum > kTrainingMargin)
+        return;
+    if (!opt_hit && sum < -kTrainingMargin)
+        return;
+
+    Isvm &isvm = isvms[snap.isvmIndex];
+    for (std::uint8_t i = 0; i < snap.used; ++i) {
+        std::int32_t &w = isvm.weights[snap.slots[i]];
+        if (opt_hit)
+            w = std::min(w + 1, kWeightLimit);
+        else
+            w = std::max(w - 1, -kWeightLimit);
+    }
+}
+
+void
+GliderPolicy::pushHistory(Pc pc)
+{
+    // Keep the most recent occurrence only, front = newest.
+    auto it = std::find(pchr.begin(), pchr.end(), pc);
+    if (it != pchr.end())
+        pchr.erase(it);
+    pchr.insert(pchr.begin(), pc);
+    if (pchr.size() > kHistoryDepth)
+        pchr.pop_back();
+}
+
+std::int32_t
+GliderPolicy::predictionSum(Pc pc) const
+{
+    return sumOf(snapshotFor(pc));
+}
+
+void
+GliderPolicy::sampleAccess(std::uint32_t set, Pc pc, Addr block_addr)
+{
+    auto it = sampledSets.find(set);
+    if (it == sampledSets.end())
+        it = sampledSets.emplace(set, SampledSet(geom.numWays)).first;
+    SampledSet &s = it->second;
+
+    const std::uint64_t curr = s.optgen.nextQuanta();
+    OptSampler::Entry prev;
+    if (s.sampler.lookup(block_addr, prev) &&
+        curr - prev.lastQuanta < s.optgen.vectorSize()) {
+        const bool opt_hit =
+            s.optgen.accessWithHistory(curr, prev.lastQuanta);
+        auto snap_it = s.snapshots.find(block_addr);
+        if (snap_it != s.snapshots.end())
+            train(snap_it->second, opt_hit);
+    } else {
+        s.optgen.accessFirstTouch(curr);
+    }
+    s.sampler.record(block_addr, curr, pc);
+    s.snapshots[block_addr] = snapshotFor(pc);
+
+    if ((curr & 0x3FF) == 0 && curr >= s.optgen.vectorSize()) {
+        s.sampler.expireBefore(curr - s.optgen.vectorSize());
+        if (s.snapshots.size() > 16 * kOptgenVectorSize)
+            s.snapshots.clear();
+    }
+}
+
+std::uint32_t
+GliderPolicy::findVictim(std::uint32_t set, Pc, Addr, AccessType)
+{
+    for (std::uint32_t w = 0; w < geom.numWays; ++w) {
+        if (line(set, w).rrpv == kMaxRrpv)
+            return w;
+    }
+    std::uint32_t victim = 0;
+    std::uint8_t max_rrpv = 0;
+    for (std::uint32_t w = 0; w < geom.numWays; ++w) {
+        if (line(set, w).rrpv >= max_rrpv) {
+            max_rrpv = line(set, w).rrpv;
+            victim = w;
+        }
+    }
+    // Evicting a predicted-friendly line: detrain its fill context so
+    // the ISVM learns from the misprediction.
+    LineMeta &meta = line(set, victim);
+    if (meta.valid && meta.friendly)
+        train(snapshotFor(meta.fillPc), /*opt_hit=*/false);
+    return victim;
+}
+
+void
+GliderPolicy::update(std::uint32_t set, std::uint32_t way, Pc pc,
+                     Addr block_addr, AccessType type, bool hit)
+{
+    if (type == AccessType::Writeback) {
+        if (!hit) {
+            LineMeta &meta = line(set, way);
+            meta.rrpv = kMaxRrpv;
+            meta.fillPc = pc;
+            meta.friendly = false;
+            meta.valid = true;
+        }
+        return;
+    }
+
+    if (isSampledSet(set))
+        sampleAccess(set, pc, block_addr);
+
+    const std::int32_t sum = predictionSum(pc);
+    pushHistory(pc);
+
+    LineMeta &meta = line(set, way);
+    const bool friendly = sum >= 0;
+
+    if (hit) {
+        meta.rrpv = friendly ? 0 : kMaxRrpv;
+        meta.fillPc = pc;
+        meta.friendly = friendly;
+        return;
+    }
+
+    if (sum >= kHighConfidence) {
+        // Confidently friendly: protect and age peers.
+        for (std::uint32_t w = 0; w < geom.numWays; ++w) {
+            if (w != way && line(set, w).rrpv < kMaxRrpv - 1)
+                ++line(set, w).rrpv;
+        }
+        meta.rrpv = 0;
+    } else if (friendly) {
+        // Low-confidence friendly: insert in the middle of the stack.
+        meta.rrpv = kMaxRrpv / 4;
+    } else {
+        meta.rrpv = kMaxRrpv;
+    }
+    meta.fillPc = pc;
+    meta.friendly = friendly;
+    meta.valid = true;
+}
+
+} // namespace cachescope

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Glider (Shi, Huang, Jain & Lin, MICRO 2019) — the practical, online
+ * version distilled from their offline LSTM study.
+ *
+ * Glider keeps Hawkeye's OPTgen training source but replaces the single
+ * per-PC counter with an Integer Support Vector Machine (ISVM) over the
+ * *PC history*: a register of the last k distinct load PCs. Each PC in
+ * the history selects one integer weight inside the ISVM table of the
+ * current PC; the prediction is the sum of selected weights compared
+ * against confidence thresholds. This captures cross-PC context that a
+ * single-PC counter cannot — and is precisely the mechanism the paper
+ * shows collapsing when graph traversals funnel through a handful of
+ * PCs with data-dependent behaviour.
+ */
+
+#ifndef CACHESCOPE_REPLACEMENT_GLIDER_HH
+#define CACHESCOPE_REPLACEMENT_GLIDER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/optgen.hh"
+#include "replacement/replacement_policy.hh"
+
+namespace cachescope {
+
+class GliderPolicy : public ReplacementPolicy
+{
+  public:
+    static constexpr unsigned kRrpvBits = 3;
+    static constexpr std::uint8_t kMaxRrpv = (1u << kRrpvBits) - 1;
+    /** Depth of the PC history register (PCHR). */
+    static constexpr std::uint32_t kHistoryDepth = 5;
+    /** Weights per ISVM (PCHR entries hash into these). */
+    static constexpr std::uint32_t kWeightsPerIsvm = 16;
+    /** Number of ISVM tables (indexed by hashed current PC). */
+    static constexpr unsigned kIsvmIndexBits = 11;
+    static constexpr std::uint32_t kIsvmTables = 1u << kIsvmIndexBits;
+    /** Weight saturation bound. */
+    static constexpr std::int32_t kWeightLimit = 31;
+    /** Prediction sum >= this: high-confidence cache-friendly. */
+    static constexpr std::int32_t kHighConfidence = 30;
+    /** Training stops once |sum| exceeds this margin and is correct. */
+    static constexpr std::int32_t kTrainingMargin = 60;
+    static constexpr std::uint32_t kTargetSampledSets = 64;
+    static constexpr std::uint32_t kOptgenVectorSize = 128;
+
+    explicit GliderPolicy(const CacheGeometry &geometry);
+
+    std::uint32_t findVictim(std::uint32_t set, Pc pc, Addr block_addr,
+                             AccessType type) override;
+    void update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block_addr,
+                AccessType type, bool hit) override;
+
+    /** @return the current ISVM output for @p pc with today's history. */
+    std::int32_t predictionSum(Pc pc) const;
+
+    bool isSampledSet(std::uint32_t set) const;
+
+    /** Exposed for tests. */
+    std::uint8_t rrpvOf(std::uint32_t set, std::uint32_t way) const;
+
+  private:
+    struct LineMeta
+    {
+        std::uint8_t rrpv = kMaxRrpv;
+        Pc fillPc = 0;
+        bool friendly = false;
+        bool valid = false;
+    };
+
+    /** One ISVM: a small bank of integer weights. */
+    struct Isvm
+    {
+        std::array<std::int32_t, kWeightsPerIsvm> weights{};
+    };
+
+    /** Snapshot of PCHR weight slots used to train a past prediction. */
+    struct HistorySnapshot
+    {
+        std::array<std::uint8_t, kHistoryDepth> slots{};
+        std::uint8_t used = 0;
+        std::uint32_t isvmIndex = 0;
+    };
+
+    static std::uint32_t isvmIndex(Pc pc);
+    static std::uint32_t weightSlot(Pc pc);
+
+    HistorySnapshot snapshotFor(Pc pc) const;
+    std::int32_t sumOf(const HistorySnapshot &snap) const;
+    void train(const HistorySnapshot &snap, bool opt_hit);
+    void pushHistory(Pc pc);
+    void sampleAccess(std::uint32_t set, Pc pc, Addr block_addr);
+
+    LineMeta &line(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t sampleStride;
+    std::vector<LineMeta> lines;
+    std::vector<Isvm> isvms;
+    std::vector<Pc> pchr; ///< most recent distinct PCs, front = newest
+
+    struct SampledSet
+    {
+        OptGen optgen;
+        OptSampler sampler;
+        /** Snapshot taken when each tracked line was last accessed. */
+        std::unordered_map<Addr, HistorySnapshot> snapshots;
+
+        explicit SampledSet(std::uint32_t ways)
+            : optgen(ways, kOptgenVectorSize), sampler(8 * kOptgenVectorSize)
+        {}
+    };
+    std::unordered_map<std::uint32_t, SampledSet> sampledSets;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_REPLACEMENT_GLIDER_HH

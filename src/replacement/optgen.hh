@@ -1,0 +1,107 @@
+/**
+ * @file
+ * OPTgen — the sampled reconstruction of Belady's OPT used by Hawkeye
+ * (Jain & Lin, ISCA 2016) and reused by Glider's online predictor.
+ *
+ * OPTgen answers, for a stream of accesses to one cache set, "would OPT
+ * have hit this access?" using the insight that OPT caches a line iff
+ * the cache has spare capacity in every time quantum of the line's
+ * liveness interval. It maintains an occupancy vector over the last N
+ * access quanta; an access to a line last touched at quantum t is an
+ * OPT hit iff occupancy stayed below the associativity in [t, now).
+ */
+
+#ifndef CACHESCOPE_REPLACEMENT_OPTGEN_HH
+#define CACHESCOPE_REPLACEMENT_OPTGEN_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace cachescope {
+
+/**
+ * Occupancy-vector OPT reconstruction for a single set.
+ */
+class OptGen
+{
+  public:
+    /**
+     * @param capacity lines the set can hold (associativity).
+     * @param vector_size history window in access quanta.
+     */
+    explicit OptGen(std::uint32_t capacity, std::uint32_t vector_size = 128);
+
+    /**
+     * Record an access whose previous access to the same line happened
+     * at absolute quantum @p last_quanta.
+     *
+     * @param curr_quanta absolute index of this access (from quanta()).
+     * @param last_quanta absolute index of the previous access.
+     * @return true iff OPT would have hit.
+     */
+    bool accessWithHistory(std::uint64_t curr_quanta,
+                           std::uint64_t last_quanta);
+
+    /** Record a first-touch access (always an OPT miss). */
+    void accessFirstTouch(std::uint64_t curr_quanta);
+
+    /** @return the next absolute quantum index and advance the clock. */
+    std::uint64_t nextQuanta() { return clock++; }
+
+    std::uint32_t vectorSize() const { return size; }
+    std::uint64_t optHits() const { return hits; }
+    std::uint64_t optAccesses() const { return accesses; }
+
+  private:
+    std::uint32_t capacity;
+    std::uint32_t size;
+    std::uint64_t clock = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t accesses = 0;
+    std::vector<std::uint16_t> occupancy;
+};
+
+/**
+ * Per-set address sampler feeding OPTgen: remembers, for recently seen
+ * lines, the quantum and PC of their last access, so the owner policy
+ * can train its predictor with OPT's verdict on the *previous* PC.
+ */
+class OptSampler
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t lastQuanta = 0;
+        Pc lastPc = 0;
+    };
+
+    /** @param max_entries bound on tracked lines per set. */
+    explicit OptSampler(std::uint32_t max_entries = 512)
+        : maxEntries(max_entries)
+    {}
+
+    /**
+     * Look up @p block_addr; if present, copy its entry into @p out.
+     * @return true if the line was being tracked.
+     */
+    bool lookup(Addr block_addr, Entry &out) const;
+
+    /** Insert or refresh the entry for @p block_addr. */
+    void record(Addr block_addr, std::uint64_t quanta, Pc pc);
+
+    /** Drop entries whose last access is older than @p horizon quanta. */
+    void expireBefore(std::uint64_t horizon);
+
+    std::size_t size() const { return table.size(); }
+
+  private:
+    std::uint32_t maxEntries;
+    std::unordered_map<Addr, Entry> table;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_REPLACEMENT_OPTGEN_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Replacement-policy factory implementation.
+ *
+ * Built-in policies are registered lazily on first use (see builtin.cc),
+ * which avoids the static-initialization-order and dead-stripping
+ * hazards of self-registering translation units in static libraries.
+ */
+
+#include "replacement/replacement_policy.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+/** Defined in builtin.cc; registers every built-in policy exactly once. */
+void registerBuiltinPolicies();
+
+namespace {
+
+std::map<std::string, ReplacementPolicyFactory::Creator> &
+creatorMap()
+{
+    static std::map<std::string, ReplacementPolicyFactory::Creator> map;
+    return map;
+}
+
+void
+ensureBuiltins()
+{
+    static std::once_flag flag;
+    std::call_once(flag, registerBuiltinPolicies);
+}
+
+} // anonymous namespace
+
+const char *
+accessTypeName(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Writeback: return "writeback";
+      case AccessType::Prefetch: return "prefetch";
+    }
+    return "unknown";
+}
+
+void
+ReplacementPolicyFactory::registerPolicy(const std::string &name,
+                                         Creator creator)
+{
+    auto [it, inserted] = creatorMap().emplace(name, std::move(creator));
+    (void)it;
+    if (!inserted)
+        fatal("replacement policy '%s' registered twice", name.c_str());
+}
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicyFactory::create(const std::string &name,
+                                 const CacheGeometry &geometry)
+{
+    ensureBuiltins();
+    CS_ASSERT(geometry.numSets > 0 && geometry.numWays > 0,
+              "empty cache geometry");
+    auto it = creatorMap().find(name);
+    if (it == creatorMap().end())
+        fatal("unknown replacement policy '%s'", name.c_str());
+    auto policy = it->second(geometry);
+    policy->policyName = name;
+    return policy;
+}
+
+std::vector<std::string>
+ReplacementPolicyFactory::availablePolicies()
+{
+    ensureBuiltins();
+    std::vector<std::string> names;
+    names.reserve(creatorMap().size());
+    for (const auto &[name, creator] : creatorMap())
+        names.push_back(name);
+    return names;
+}
+
+bool
+ReplacementPolicyFactory::isRegistered(const std::string &name)
+{
+    ensureBuiltins();
+    return creatorMap().count(name) != 0;
+}
+
+} // namespace cachescope

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Re-Reference Interval Prediction policies (Jaleel et al., ISCA 2010):
+ * SRRIP, BRRIP and the set-dueling hybrid DRRIP.
+ *
+ * Each line carries an M-bit re-reference prediction value (RRPV);
+ * 0 predicts near-immediate re-reference, 2^M - 1 predicts distant.
+ * Victims are lines with the maximum RRPV; if none exists all RRPVs in
+ * the set age until one does. Hits promote to RRPV 0 (hit-priority).
+ */
+
+#ifndef CACHESCOPE_REPLACEMENT_RRIP_HH
+#define CACHESCOPE_REPLACEMENT_RRIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "replacement/replacement_policy.hh"
+
+namespace cachescope {
+
+/**
+ * Shared RRPV machinery for the RRIP family.
+ */
+class RripBase : public ReplacementPolicy
+{
+  public:
+    static constexpr unsigned kRrpvBits = 2;
+    static constexpr std::uint8_t kMaxRrpv = (1u << kRrpvBits) - 1;
+
+    explicit RripBase(const CacheGeometry &geometry);
+
+    std::uint32_t findVictim(std::uint32_t set, Pc pc, Addr block_addr,
+                             AccessType type) override;
+    void update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block_addr,
+                AccessType type, bool hit) override;
+
+    /** Exposed for tests. */
+    std::uint8_t rrpvOf(std::uint32_t set, std::uint32_t way) const;
+
+  protected:
+    /**
+     * @return the RRPV a newly filled line should get.
+     * @param set the set being filled (DRRIP duels per set).
+     */
+    virtual std::uint8_t insertionRrpv(std::uint32_t set,
+                                       AccessType type) = 0;
+
+    /** Hook for DRRIP's PSEL training: called on every demand miss fill. */
+    virtual void onMissFill(std::uint32_t set) { (void)set; }
+
+    std::uint8_t &rrpv(std::uint32_t set, std::uint32_t way);
+
+  private:
+    std::vector<std::uint8_t> rrpvs;
+};
+
+/** Static RRIP: always insert with "long" re-reference (maxRrpv - 1). */
+class SrripPolicy : public RripBase
+{
+  public:
+    explicit SrripPolicy(const CacheGeometry &geometry) : RripBase(geometry)
+    {}
+
+  protected:
+    std::uint8_t
+    insertionRrpv(std::uint32_t, AccessType) override
+    {
+        return kMaxRrpv - 1;
+    }
+};
+
+/**
+ * Bimodal RRIP: insert with "distant" (maxRrpv) most of the time and
+ * "long" (maxRrpv - 1) once every kEpsilon fills, which protects a
+ * trickle of lines in thrashing access patterns.
+ */
+class BrripPolicy : public RripBase
+{
+  public:
+    static constexpr std::uint32_t kEpsilon = 32;
+
+    explicit BrripPolicy(const CacheGeometry &geometry) : RripBase(geometry)
+    {}
+
+  protected:
+    std::uint8_t
+    insertionRrpv(std::uint32_t, AccessType) override
+    {
+        if (++fillCount % kEpsilon == 0)
+            return kMaxRrpv - 1;
+        return kMaxRrpv;
+    }
+
+  private:
+    std::uint32_t fillCount = 0;
+};
+
+/**
+ * Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+ *
+ * A few leader sets always use SRRIP insertion, a few always use BRRIP;
+ * misses in leader sets steer a PSEL counter, and follower sets adopt
+ * whichever leader group is missing less.
+ */
+class DrripPolicy : public RripBase
+{
+  public:
+    /** Leader sets per constituent policy. */
+    static constexpr std::uint32_t kLeadersPerPolicy = 32;
+    static constexpr std::uint32_t kPselBits = 10;
+    static constexpr std::uint32_t kPselMax = (1u << kPselBits) - 1;
+
+    explicit DrripPolicy(const CacheGeometry &geometry);
+
+    /** Exposed for tests. */
+    enum class SetRole : std::uint8_t { SrripLeader, BrripLeader, Follower };
+    SetRole roleOf(std::uint32_t set) const;
+    std::uint32_t psel() const { return pselCounter; }
+
+    std::string debugState() const override;
+
+  protected:
+    std::uint8_t insertionRrpv(std::uint32_t set, AccessType type) override;
+    void onMissFill(std::uint32_t set) override;
+
+  private:
+    std::uint8_t brripInsertion();
+
+    std::uint32_t pselCounter = kPselMax / 2;
+    std::uint32_t fillCount = 0;
+    std::uint32_t leaderStride;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_REPLACEMENT_RRIP_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Implementation of summary statistics.
+ */
+
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        CS_ASSERT(v > 0.0, "geomean requires strictly positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+mpki(std::uint64_t misses, std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(misses) /
+           static_cast<double>(instructions);
+}
+
+double
+ipc(std::uint64_t instructions, std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+}
+
+void
+RunningStat::add(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    sum += v;
+    ++n;
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width(bucket_width), counts(num_buckets + 1, 0)
+{
+    CS_ASSERT(bucket_width > 0, "bucket width must be non-zero");
+    CS_ASSERT(num_buckets > 0, "need at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / width);
+    if (idx >= counts.size() - 1)
+        idx = counts.size() - 1;
+    ++counts[idx];
+    ++samples;
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (samples == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(samples)));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cum += counts[i];
+        if (cum >= target)
+            return (i + 1) * width - 1;
+    }
+    return counts.size() * width - 1;
+}
+
+} // namespace cachescope

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scalar summary statistics: means, geometric means, MPKI/IPC helpers.
+ */
+
+#ifndef CACHESCOPE_STATS_SUMMARY_HH
+#define CACHESCOPE_STATS_SUMMARY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cachescope {
+
+/** @return the arithmetic mean of @p values (0 for an empty vector). */
+double mean(const std::vector<double> &values);
+
+/**
+ * @return the geometric mean of @p values (0 for an empty vector).
+ * All values must be strictly positive; this is the aggregation the
+ * paper uses for cross-workload speedups.
+ */
+double geomean(const std::vector<double> &values);
+
+/** @return the population standard deviation of @p values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * @return misses per kilo-instruction.
+ * @param misses miss count over the measurement window.
+ * @param instructions retired instructions over the same window.
+ */
+double mpki(std::uint64_t misses, std::uint64_t instructions);
+
+/** @return instructions per cycle (0 if @p cycles is 0). */
+double ipc(std::uint64_t instructions, std::uint64_t cycles);
+
+/**
+ * Streaming mean/min/max accumulator for values observed one at a time.
+ */
+class RunningStat
+{
+  public:
+    void add(double v);
+
+    std::uint64_t count() const { return n; }
+    double mean() const { return n == 0 ? 0.0 : sum / static_cast<double>(n); }
+    double min() const { return n == 0 ? 0.0 : lo; }
+    double max() const { return n == 0 ? 0.0 : hi; }
+    double total() const { return sum; }
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, bucket_width * num_buckets), with an
+ * overflow bucket. Used for reuse-distance and latency distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** @return count in bucket @p i (the last bucket is the overflow). */
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+
+    std::size_t numBuckets() const { return counts.size(); }
+    std::uint64_t bucketWidth() const { return width; }
+    std::uint64_t totalSamples() const { return samples; }
+
+    /** @return the smallest value v such that P(X <= v) >= q, by bucket. */
+    std::uint64_t percentile(double q) const;
+
+  private:
+    std::uint64_t width;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t samples = 0;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_STATS_SUMMARY_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns(std::move(column_names))
+{
+    CS_ASSERT(!columns.empty(), "a table needs at least one column");
+}
+
+void
+Table::newRow()
+{
+    if (!rows.empty() && rows.back().size() != columns.size()) {
+        panic("previous table row has %zu cells, expected %zu",
+              rows.back().size(), columns.size());
+    }
+    rows.emplace_back();
+}
+
+void
+Table::addCell(std::string text)
+{
+    CS_ASSERT(!rows.empty(), "call newRow() before addCell()");
+    CS_ASSERT(rows.back().size() < columns.size(), "row overflow");
+    rows.back().push_back(std::move(text));
+}
+
+void
+Table::addNumber(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    addCell(buf);
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t col) const
+{
+    return rows.at(row).at(col);
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&]() {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << ' ' << text << std::string(widths[c] - text.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    rule();
+    line(columns);
+    rule();
+    for (const auto &row : rows)
+        line(row);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::string &s) {
+        if (s.find_first_of(",\"\n") != std::string::npos) {
+            os << '"';
+            for (char ch : s) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        } else {
+            os << s;
+        }
+    };
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            os << ',';
+        emit(columns[c]);
+    }
+    os << '\n';
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            emit(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace cachescope

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Result-table formatting: aligned ASCII tables for the console and CSV
+ * for downstream plotting. Every bench binary reports through this so
+ * figure data is regenerated in one consistent format.
+ */
+
+#ifndef CACHESCOPE_STATS_TABLE_HH
+#define CACHESCOPE_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cachescope {
+
+/**
+ * A simple rectangular table of strings with named columns.
+ *
+ * Cells are stored as text; addNumber() formats doubles with a fixed
+ * precision so tables are stable across runs.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> column_names);
+
+    /** Begin a new row; subsequent addCell()s fill it left to right. */
+    void newRow();
+
+    /** Append a text cell to the current row. */
+    void addCell(std::string text);
+
+    /** Append a numeric cell formatted to @p precision decimals. */
+    void addNumber(double value, int precision = 3);
+
+    /** @return number of data rows. */
+    std::size_t numRows() const { return rows.size(); }
+
+    /** @return cell text at (row, col). */
+    const std::string &cell(std::size_t row, std::size_t col) const;
+
+    /** Write an aligned, boxed ASCII rendering. */
+    void printAscii(std::ostream &os) const;
+
+    /** Write RFC-4180-ish CSV (quotes only when needed). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_STATS_TABLE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PC fan-out profiler implementation.
+ */
+
+#include "trace/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cachescope {
+
+void
+PcProfiler::onInstruction(const TraceRecord &rec)
+{
+    if (!rec.isMemory())
+        return;
+    auto &entry = table[rec.pc];
+    ++entry.accesses;
+    entry.blocks.insert(rec.addr >> blockBits);
+    ++totalMemAccesses;
+}
+
+std::vector<PcFanout>
+PcProfiler::fanouts() const
+{
+    std::vector<PcFanout> out;
+    out.reserve(table.size());
+    for (const auto &[pc, entry] : table)
+        out.push_back({pc, entry.accesses, entry.blocks.size()});
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        return a.accesses > b.accesses;
+    });
+    return out;
+}
+
+PcProfileSummary
+PcProfiler::summarize() const
+{
+    PcProfileSummary s;
+    s.memoryAccesses = totalMemAccesses;
+    s.distinctMemoryPcs = table.size();
+    if (table.empty())
+        return s;
+
+    const auto rows = fanouts();
+    std::uint64_t block_sum = 0;
+    for (const auto &row : rows) {
+        block_sum += row.distinctBlocks;
+        s.maxBlocksPerPc = std::max(s.maxBlocksPerPc, row.distinctBlocks);
+    }
+    s.meanBlocksPerPc =
+        static_cast<double>(block_sum) / static_cast<double>(rows.size());
+
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(0.9 * static_cast<double>(totalMemAccesses)));
+    std::uint64_t cum = 0;
+    for (const auto &row : rows) {
+        cum += row.accesses;
+        ++s.pcsFor90PctAccesses;
+        if (cum >= target)
+            break;
+    }
+
+    double entropy = 0.0;
+    for (const auto &row : rows) {
+        const double p = static_cast<double>(row.accesses) /
+                         static_cast<double>(totalMemAccesses);
+        entropy -= p * std::log2(p);
+    }
+    s.pcEntropyBits = entropy;
+    return s;
+}
+
+} // namespace cachescope

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The instruction trace record — the unit of exchange between workloads
+ * (which produce records by running instrumented algorithms) and
+ * consumers (the timing simulator, trace files, profilers).
+ *
+ * The format follows ChampSim's model at one-memory-op-per-instruction
+ * granularity: an instruction is either a pure ALU op, a branch, or a
+ * single load/store with a byte address and size.
+ */
+
+#ifndef CACHESCOPE_TRACE_RECORD_HH
+#define CACHESCOPE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace cachescope {
+
+/** Classification of a traced instruction. */
+enum class InstKind : std::uint8_t {
+    Alu = 0,     ///< non-memory, non-branch instruction
+    Load = 1,    ///< memory read
+    Store = 2,   ///< memory write
+    Branch = 3,  ///< control transfer (conditional or not)
+};
+
+/**
+ * One traced instruction.
+ *
+ * For Load/Store records @c addr and @c size describe the access; for
+ * Alu/Branch records they are kInvalidAddr / 0. The @c pc identifies the
+ * static instruction; instrumented workloads assign one stable synthetic
+ * PC per static access site so PC-indexed predictors see realistic
+ * signatures.
+ */
+struct TraceRecord
+{
+    Pc pc = 0;
+    Addr addr = kInvalidAddr;
+    InstKind kind = InstKind::Alu;
+    std::uint8_t size = 0;
+
+    static TraceRecord
+    alu(Pc pc)
+    {
+        return {pc, kInvalidAddr, InstKind::Alu, 0};
+    }
+
+    static TraceRecord
+    load(Pc pc, Addr addr, std::uint8_t size = 8)
+    {
+        return {pc, addr, InstKind::Load, size};
+    }
+
+    static TraceRecord
+    store(Pc pc, Addr addr, std::uint8_t size = 8)
+    {
+        return {pc, addr, InstKind::Store, size};
+    }
+
+    static TraceRecord
+    branch(Pc pc)
+    {
+        return {pc, kInvalidAddr, InstKind::Branch, 0};
+    }
+
+    bool
+    isMemory() const
+    {
+        return kind == InstKind::Load || kind == InstKind::Store;
+    }
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/**
+ * Consumer interface for instruction streams (push model).
+ *
+ * Workloads run for real and push each instruction into a sink; the
+ * timing simulator, the binary trace writer, and the profilers all
+ * implement this interface, so any workload can drive any consumer
+ * without materializing multi-gigabyte traces.
+ */
+class InstructionSink
+{
+  public:
+    virtual ~InstructionSink() = default;
+
+    /** Consume one traced instruction, in program order. */
+    virtual void onInstruction(const TraceRecord &rec) = 0;
+
+    /**
+     * @return false once the sink has consumed all it needs (e.g. the
+     * simulator hit its instruction budget). Producers should poll this
+     * periodically and stop early; pushing more records stays legal but
+     * wasted.
+     */
+    virtual bool wantsMore() const { return true; }
+
+    /**
+     * Notification that the producing workload finished. Optional for
+     * sinks that do not buffer.
+     */
+    virtual void onEnd() {}
+};
+
+/** A sink that discards everything (useful for dry runs and tests). */
+class NullSink : public InstructionSink
+{
+  public:
+    void onInstruction(const TraceRecord &) override {}
+};
+
+/** A sink that counts records by kind. */
+class CountingSink : public InstructionSink
+{
+  public:
+    void
+    onInstruction(const TraceRecord &rec) override
+    {
+        ++total;
+        switch (rec.kind) {
+          case InstKind::Alu: ++alu; break;
+          case InstKind::Load: ++loads; break;
+          case InstKind::Store: ++stores; break;
+          case InstKind::Branch: ++branches; break;
+        }
+    }
+
+    std::uint64_t total = 0;
+    std::uint64_t alu = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_TRACE_RECORD_HH

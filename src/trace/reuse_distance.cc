@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reuse-distance profiler implementation.
+ */
+
+#include "trace/reuse_distance.hh"
+
+#include "util/intmath.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+namespace {
+
+/** Shared bucket count for the log2 distance histogram. */
+constexpr std::size_t kNumLogBuckets =
+    ReuseDistanceProfiler::kNumBuckets;
+
+/** @return the log2 bucket of @p distance (0 for distance 0). */
+std::size_t
+logBucket(std::uint64_t distance)
+{
+    if (distance == 0)
+        return 0;
+    const std::size_t b = floorLog2(distance) + 1;
+    return b >= kNumLogBuckets ? kNumLogBuckets - 1 : b;
+}
+
+} // anonymous namespace
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(unsigned block_bits)
+    : blockBits(block_bits), distanceBuckets(kNumLogBuckets, 0)
+{
+    fenwick.assign(1, 0);
+}
+
+void
+ReuseDistanceProfiler::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    for (; pos < fenwick.size(); pos += pos & (~pos + 1))
+        fenwick[pos] += delta;
+}
+
+std::int64_t
+ReuseDistanceProfiler::fenwickSuffixSum(std::size_t pos) const
+{
+    // Prefix sum [1, pos].
+    std::int64_t sum = 0;
+    for (; pos > 0; pos -= pos & (~pos + 1))
+        sum += fenwick[pos];
+    return sum;
+}
+
+void
+ReuseDistanceProfiler::onInstruction(const TraceRecord &rec)
+{
+    if (!rec.isMemory())
+        return;
+
+    const Addr block = rec.addr >> blockBits;
+    const std::uint64_t t = ++timeCursor;
+
+    // Grow the Fenwick tree by rebuilding from scratch when the time
+    // cursor outruns it; the live bits are exactly the stored
+    // last-access positions, so a rebuild re-adds one 1 per live block.
+    if (t >= fenwick.size()) {
+        std::size_t new_size = fenwick.size() * 2;
+        while (t >= new_size)
+            new_size *= 2;
+        fenwick.assign(new_size, 0);
+        for (const auto &[blk, pos] : lastAccess) {
+            (void)blk;
+            fenwickAdd(pos, +1);
+        }
+    }
+
+    auto it = lastAccess.find(block);
+    if (it != lastAccess.end()) {
+        const std::uint64_t last = it->second;
+        const auto distinct =
+            static_cast<std::int64_t>(lastAccess.size());
+        const std::int64_t le_last = fenwickSuffixSum(last);
+        const auto distance = static_cast<std::uint64_t>(
+            distinct - le_last);
+        ++distanceBuckets[logBucket(distance)];
+        ++reuseCount;
+        fenwickAdd(last, -1);
+        it->second = t;
+    } else {
+        ++coldCount;
+        lastAccess.emplace(block, t);
+    }
+    fenwickAdd(t, +1);
+}
+
+double
+ReuseDistanceProfiler::hitRatioAtCapacity(std::uint64_t blocks) const
+{
+    if (reuseCount == 0)
+        return 0.0;
+    // Sum whole buckets whose upper bound fits, then linearly
+    // interpolate the straddling bucket.
+    std::uint64_t covered = 0;
+    double partial = 0.0;
+    for (std::size_t b = 0; b < kNumLogBuckets; ++b) {
+        const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+        const std::uint64_t hi = b == 0 ? 1 : (std::uint64_t{1} << b);
+        if (hi <= blocks) {
+            covered += distanceBuckets[b];
+        } else if (lo < blocks) {
+            partial = static_cast<double>(distanceBuckets[b]) *
+                      static_cast<double>(blocks - lo) /
+                      static_cast<double>(hi - lo);
+        }
+    }
+    return (static_cast<double>(covered) + partial) /
+           static_cast<double>(reuseCount);
+}
+
+} // namespace cachescope

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Binary trace reader/writer implementation.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+namespace {
+
+/** Packed on-disk record layout (24 bytes, little-endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t addr;
+    std::uint8_t kind;
+    std::uint8_t size;
+    std::uint8_t pad[6];
+};
+
+static_assert(sizeof(DiskRecord) == 24, "trace record must pack to 24 B");
+
+} // anonymous namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    TraceFileHeader hdr;
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    finalize();
+}
+
+void
+TraceWriter::onInstruction(const TraceRecord &rec)
+{
+    CS_ASSERT(!finalized, "write after onEnd()");
+    DiskRecord d{};
+    d.pc = rec.pc;
+    d.addr = rec.addr;
+    d.kind = static_cast<std::uint8_t>(rec.kind);
+    d.size = rec.size;
+    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
+        fatal("short write to trace file");
+    ++count;
+}
+
+void
+TraceWriter::onEnd()
+{
+    finalize();
+}
+
+void
+TraceWriter::finalize()
+{
+    if (finalized || !file)
+        return;
+    finalized = true;
+    TraceFileHeader hdr;
+    hdr.numRecords = count;
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
+        fatal("cannot back-patch trace header");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s' for reading", path.c_str());
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("trace file '%s' is too short for a header", path.c_str());
+    if (header.magic != TraceFileHeader::kMagic)
+        fatal("'%s' is not a CacheScope trace (bad magic)", path.c_str());
+    if (header.version != TraceFileHeader::kVersion) {
+        fatal("trace '%s' has unsupported version %u", path.c_str(),
+              header.version);
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceReader::next(TraceRecord &rec)
+{
+    DiskRecord d;
+    if (std::fread(&d, sizeof(d), 1, file) != 1)
+        return false;
+    if (d.kind > static_cast<std::uint8_t>(InstKind::Branch))
+        fatal("corrupt trace record (kind=%u)", d.kind);
+    rec.pc = d.pc;
+    rec.addr = d.addr;
+    rec.kind = static_cast<InstKind>(d.kind);
+    rec.size = d.size;
+    return true;
+}
+
+std::uint64_t
+TraceReader::replayInto(InstructionSink &sink)
+{
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.onInstruction(rec);
+        ++n;
+    }
+    sink.onEnd();
+    return n;
+}
+
+} // namespace cachescope

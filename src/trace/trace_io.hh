@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary trace file round-tripping.
+ *
+ * The on-disk format is a fixed 24-byte little-endian record preceded by
+ * a 16-byte header, so traces captured from one workload run can be
+ * replayed later (ChampSim-style) without re-executing the workload.
+ */
+
+#ifndef CACHESCOPE_TRACE_TRACE_IO_HH
+#define CACHESCOPE_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace cachescope {
+
+/** Trace file header. */
+struct TraceFileHeader
+{
+    static constexpr std::uint32_t kMagic = 0x43535452; // "CSTR"
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint64_t numRecords = 0;
+};
+
+/**
+ * An InstructionSink that appends every record to a binary trace file.
+ * The record count in the header is back-patched on onEnd()/destruction.
+ */
+class TraceWriter : public InstructionSink
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void onInstruction(const TraceRecord &rec) override;
+    void onEnd() override;
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    void finalize();
+
+    std::FILE *file = nullptr;
+    std::uint64_t count = 0;
+    bool finalized = false;
+};
+
+/**
+ * Reads a binary trace file and replays it into a sink.
+ */
+class TraceReader
+{
+  public:
+    /** Open @p path for reading; fatal() on failure or bad header. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** @return the number of records the header promises. */
+    std::uint64_t numRecords() const { return header.numRecords; }
+
+    /**
+     * Read the next record.
+     * @return false at end of file.
+     */
+    bool next(TraceRecord &rec);
+
+    /** Push all (remaining) records into @p sink, then call onEnd(). */
+    std::uint64_t replayInto(InstructionSink &sink);
+
+  private:
+    std::FILE *file = nullptr;
+    TraceFileHeader header;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_TRACE_TRACE_IO_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Trace-file workload implementation.
+ */
+
+#include "trace/trace_workload.hh"
+
+namespace cachescope {
+
+TraceFileWorkload::TraceFileWorkload(std::string path,
+                                     std::string display_name)
+    : path(std::move(path)),
+      displayName(display_name.empty() ? this->path
+                                       : std::move(display_name))
+{
+    // Validate the header now so bad paths fail at construction, not
+    // mid-sweep.
+    TraceReader probe(this->path);
+    records = probe.numRecords();
+}
+
+void
+TraceFileWorkload::run(InstructionSink &sink)
+{
+    TraceReader reader(path);
+    TraceRecord rec;
+    while (sink.wantsMore() && reader.next(rec))
+        sink.onInstruction(rec);
+    sink.onEnd();
+}
+
+} // namespace cachescope

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A Workload backed by a captured binary trace file — the classic
+ * ChampSim workflow (capture once, replay under many configurations)
+ * expressed in the Workload interface, so trace files drop into the
+ * same sweeps as live kernels.
+ */
+
+#ifndef CACHESCOPE_TRACE_TRACE_WORKLOAD_HH
+#define CACHESCOPE_TRACE_TRACE_WORKLOAD_HH
+
+#include <string>
+
+#include "trace/trace_io.hh"
+#include "trace/workload.hh"
+
+namespace cachescope {
+
+class TraceFileWorkload : public Workload
+{
+  public:
+    /**
+     * @param path trace file (validated eagerly; fatal() if unusable).
+     * @param display_name name used in result tables; defaults to the
+     *        file path.
+     */
+    explicit TraceFileWorkload(std::string path,
+                               std::string display_name = "");
+
+    const std::string &name() const override { return displayName; }
+
+    /** Replays the file; each call opens a fresh reader. */
+    void run(InstructionSink &sink) override;
+
+    /** @return records the header promises. */
+    std::uint64_t numRecords() const { return records; }
+
+  private:
+    std::string path;
+    std::string displayName;
+    std::uint64_t records;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_TRACE_TRACE_WORKLOAD_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Instrumented data structures — the replacement for Pin.
+ *
+ * The paper traces real binaries with a binary-instrumentation tool.
+ * We instead run real algorithms over TracedArray<T> containers: every
+ * semantic load/store goes through an accessor that emits a TraceRecord
+ * carrying the simulated address and the static call site's synthetic
+ * PC. Arrays live in a simulated flat address space handed out by
+ * AddressSpace, so cache behaviour (set conflicts, spatial locality,
+ * page boundaries) matches what the real data layout would produce.
+ */
+
+#ifndef CACHESCOPE_TRACE_TRACED_MEMORY_HH
+#define CACHESCOPE_TRACE_TRACED_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace cachescope {
+
+/**
+ * Bump allocator for the simulated physical address space.
+ *
+ * Allocations are page-aligned so distinct arrays never share a cache
+ * block, matching separately malloc'd buffers in a real run.
+ */
+class AddressSpace
+{
+  public:
+    static constexpr Addr kHeapBase = 0x1000'0000;
+    static constexpr Addr kPageBytes = 4096;
+
+    /** @return the base address of a fresh region of @p bytes bytes. */
+    Addr
+    allocate(std::uint64_t bytes)
+    {
+        const Addr base = cursor;
+        const Addr span = (bytes + kPageBytes - 1) & ~(kPageBytes - 1);
+        cursor += span == 0 ? kPageBytes : span;
+        return base;
+    }
+
+    Addr bytesAllocated() const { return cursor - kHeapBase; }
+
+  private:
+    Addr cursor = kHeapBase;
+};
+
+/**
+ * A vector whose element accesses emit trace records.
+ *
+ * Traced accessors take the synthetic PC of the static access site;
+ * raw accessors skip tracing for setup/verification code that would not
+ * be part of the measured kernel.
+ */
+template <typename T>
+class TracedArray
+{
+  public:
+    /**
+     * @param count element count.
+     * @param space simulated address space to allocate from.
+     * @param sink where access records go.
+     * @param init initial element value.
+     */
+    TracedArray(std::size_t count, AddressSpace &space,
+                InstructionSink &sink, const T &init = T{})
+        : data(count, init), base(space.allocate(count * sizeof(T))),
+          out(&sink)
+    {}
+
+    /** Traced read of element @p i from call site @p pc. */
+    T
+    load(std::size_t i, Pc pc) const
+    {
+        out->onInstruction(TraceRecord::load(pc, addressOf(i), sizeof(T)));
+        return data[i];
+    }
+
+    /** Traced write of element @p i from call site @p pc. */
+    void
+    store(std::size_t i, const T &value, Pc pc)
+    {
+        out->onInstruction(TraceRecord::store(pc, addressOf(i), sizeof(T)));
+        data[i] = value;
+    }
+
+    /** Untraced access for setup and result checking. */
+    T &raw(std::size_t i) { return data[i]; }
+    const T &raw(std::size_t i) const { return data[i]; }
+
+    /** @return simulated address of element @p i. */
+    Addr
+    addressOf(std::size_t i) const
+    {
+        return base + static_cast<Addr>(i) * sizeof(T);
+    }
+
+    std::size_t size() const { return data.size(); }
+    Addr baseAddress() const { return base; }
+
+  private:
+    std::vector<T> data;
+    Addr base;
+    InstructionSink *out;
+};
+
+/**
+ * Helper emitting the non-memory instructions that surround the traced
+ * loads/stores, so the stream's instruction mix (and therefore MPKI
+ * denominators) resembles the compiled kernel rather than a pure
+ * address stream.
+ */
+class InstructionMix
+{
+  public:
+    explicit InstructionMix(InstructionSink &sink) : out(&sink) {}
+
+    /** Emit @p n ALU instructions from call site @p pc. */
+    void
+    alu(Pc pc, unsigned n = 1)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out->onInstruction(TraceRecord::alu(pc));
+    }
+
+    /** Emit one branch instruction from call site @p pc. */
+    void branch(Pc pc) { out->onInstruction(TraceRecord::branch(pc)); }
+
+  private:
+    InstructionSink *out;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_TRACE_TRACED_MEMORY_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The workload abstraction: anything that can push an instruction
+ * stream into a sink. GAP graph kernels and the synthetic SPEC-like
+ * kernels both implement this, which is what lets the harness sweep
+ * workload x policy grids uniformly.
+ */
+
+#ifndef CACHESCOPE_TRACE_WORKLOAD_HH
+#define CACHESCOPE_TRACE_WORKLOAD_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace cachescope {
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** @return a unique display name ("bfs.kron18", "spec06.mcf_like"). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Execute the workload, pushing records into @p sink until the
+     * algorithm finishes or sink.wantsMore() turns false. Must be
+     * deterministic: running twice into two sinks yields identical
+     * streams (the Belady oracle's two-pass design depends on it).
+     */
+    virtual void run(InstructionSink &sink) = 0;
+
+    /**
+     * @return the minimum warmup (in instructions) needed before the
+     * measurement window is representative of this workload's steady
+     * state. The harness takes the max of this and the configured
+     * warmup. Workloads with long setup phases (e.g. PageRank's
+     * sequential contribution pass) override this.
+     */
+    virtual InstCount warmupHint() const { return 0; }
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_TRACE_WORKLOAD_HH

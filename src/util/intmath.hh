@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the cache and DRAM models.
+ */
+
+#ifndef CACHESCOPE_UTIL_INTMATH_HH
+#define CACHESCOPE_UTIL_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cachescope {
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** @return ceil(log2(v)); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v == 1 ? 0u : floorLog2(v - 1) + 1;
+}
+
+/** @return @p v rounded up to the next multiple of @p align (power of 2). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, hi] (inclusive) of @p v, right-justified. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    const std::uint64_t mask =
+        hi >= 63 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (hi + 1)) - 1);
+    return (v & mask) >> lo;
+}
+
+/**
+ * Fold a 64-bit value down to @p width bits by XOR-ing successive
+ * @p width -bit chunks together. Used to build table indices and
+ * signatures from PCs and addresses.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t v, unsigned width)
+{
+    std::uint64_t out = 0;
+    while (v != 0) {
+        out ^= v & ((std::uint64_t{1} << width) - 1);
+        v >>= width;
+    }
+    return out;
+}
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_INTMATH_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers, following the gem5
+ * fatal/panic convention.
+ *
+ * panic() flags an internal simulator bug (aborts, may dump core);
+ * fatal() flags a user error such as a bad configuration (clean exit(1));
+ * warn() and inform() emit non-fatal status messages on stderr.
+ */
+
+#ifndef CACHESCOPE_UTIL_LOGGING_HH
+#define CACHESCOPE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace cachescope {
+
+/**
+ * Abort the process because of an internal invariant violation.
+ *
+ * Use only for conditions that indicate a bug in CacheScope itself,
+ * never for user mistakes.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate the process because of an unrecoverable user error
+ * (bad configuration, invalid arguments, unusable input file).
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion macro for simulator invariants that also fires in release
+ * builds. Prefer this over assert() for conditions whose violation
+ * would silently corrupt simulation statistics.
+ */
+#define CS_ASSERT(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::cachescope::panic("assertion '%s' failed at %s:%d: %s",     \
+                                #cond, __FILE__, __LINE__, (msg));        \
+        }                                                                 \
+    } while (0)
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_LOGGING_HH

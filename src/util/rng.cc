@@ -1,0 +1,103 @@
+/**
+ * @file
+ * xoshiro256** implementation.
+ */
+
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace cachescope {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    if (s <= 0.0)
+        return nextBounded(n);
+    // Inverse-CDF sampling from the continuous power-law approximation
+    // of the Zipf distribution over [1, n]: fast, seed-deterministic,
+    // and accurate enough to model hot-vertex access skew.
+    const double u = nextDouble();
+    double v;
+    if (s == 1.0) {
+        v = std::exp(u * std::log(static_cast<double>(n)));
+    } else {
+        const double one_minus_s = 1.0 - s;
+        const double nn = std::pow(static_cast<double>(n), one_minus_s);
+        v = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus_s);
+    }
+    std::uint64_t idx = static_cast<std::uint64_t>(v) - 1;
+    return idx >= n ? n - 1 : idx;
+}
+
+} // namespace cachescope

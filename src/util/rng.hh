@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * We use xoshiro256** rather than std::mt19937 because it is faster,
+ * has a tiny state, and — critically for reproducibility — its output
+ * sequence is fully specified here rather than delegated to the
+ * standard library implementation.
+ */
+
+#ifndef CACHESCOPE_UTIL_RNG_HH
+#define CACHESCOPE_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace cachescope {
+
+/**
+ * xoshiro256** 1.0 generator (Blackman & Vigna), seeded via splitmix64
+ * so that any 64-bit seed yields a well-mixed state.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** @return the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    std::uint64_t operator()() { return next(); }
+    static constexpr std::uint64_t min() { return 0; }
+    static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+    /** @return a uniform integer in [0, bound) using Lemire reduction. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+    /**
+     * @return a sample from a bounded discrete Zipf-like distribution
+     * over [0, n), with skew parameter @p s (s = 0 gives uniform).
+     * Implemented via inverse-CDF on a power-law approximation, which
+     * is what graph degree distributions and hot-set accesses need.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_RNG_HH

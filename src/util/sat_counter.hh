@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Saturating counters, the workhorse state element of branch predictors
+ * and reuse predictors alike.
+ */
+
+#ifndef CACHESCOPE_UTIL_SAT_COUNTER_HH
+#define CACHESCOPE_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+/**
+ * An unsigned saturating counter of a run-time-configurable bit width.
+ *
+ * Increment saturates at 2^bits - 1, decrement saturates at 0.
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param num_bits counter width in bits (1..31).
+     * @param initial initial value, clamped to the representable range.
+     */
+    explicit SatCounter(unsigned num_bits = 2, std::uint32_t initial = 0)
+        : maxValue((std::uint32_t{1} << num_bits) - 1),
+          value(initial > maxValue ? maxValue : initial)
+    {
+        CS_ASSERT(num_bits >= 1 && num_bits <= 31, "bad counter width");
+    }
+
+    /** Saturating increment. */
+    void increment() { if (value < maxValue) ++value; }
+
+    /** Saturating decrement. */
+    void decrement() { if (value > 0) --value; }
+
+    /** @return the raw counter value. */
+    std::uint32_t get() const { return value; }
+
+    /** Overwrite the counter, clamping to the representable range. */
+    void set(std::uint32_t v) { value = v > maxValue ? maxValue : v; }
+
+    /** @return the saturation ceiling (2^bits - 1). */
+    std::uint32_t max() const { return maxValue; }
+
+    /** @return true iff the counter is in its upper half (weakly "taken"). */
+    bool isHigh() const { return value > maxValue / 2; }
+
+    /** @return true iff the counter is saturated at its maximum. */
+    bool isMax() const { return value == maxValue; }
+
+    /** @return true iff the counter is saturated at zero. */
+    bool isMin() const { return value == 0; }
+
+  private:
+    std::uint32_t maxValue;
+    std::uint32_t value;
+};
+
+/**
+ * A signed saturating weight clamped to [-limit, +limit], as used by
+ * perceptron-style predictors (MPPPB, Glider's ISVM).
+ */
+class SignedSatWeight
+{
+  public:
+    explicit SignedSatWeight(std::int32_t limit = 31, std::int32_t initial = 0)
+        : bound(limit), value(clamp(initial))
+    {
+        CS_ASSERT(limit > 0, "weight bound must be positive");
+    }
+
+    /** Add @p delta with saturation. */
+    void
+    add(std::int32_t delta)
+    {
+        value = clamp(value + delta);
+    }
+
+    /** Move one step toward +limit. */
+    void increment() { add(1); }
+
+    /** Move one step toward -limit. */
+    void decrement() { add(-1); }
+
+    std::int32_t get() const { return value; }
+    std::int32_t limit() const { return bound; }
+    bool isSaturated() const { return value == bound || value == -bound; }
+
+  private:
+    std::int32_t
+    clamp(std::int32_t v) const
+    {
+        if (v > bound)
+            return bound;
+        if (v < -bound)
+            return -bound;
+        return v;
+    }
+
+    std::int32_t bound;
+    std::int32_t value;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_SAT_COUNTER_HH

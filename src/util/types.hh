@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all CacheScope modules.
+ */
+
+#ifndef CACHESCOPE_UTIL_TYPES_HH
+#define CACHESCOPE_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace cachescope {
+
+/** A byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A simulated CPU cycle count. */
+using Cycle = std::uint64_t;
+
+/** A retired-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Program-counter value of the instruction performing an access. */
+using Pc = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kInvalidCycle = ~Cycle{0};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_TYPES_HH

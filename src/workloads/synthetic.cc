@@ -1,0 +1,619 @@
+/**
+ * @file
+ * Synthetic kernel implementations.
+ */
+
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+
+#include "trace/pc_site.hh"
+#include "trace/traced_memory.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+
+namespace {
+
+/** Periodicity of sink.wantsMore() polling in the endless loops. */
+constexpr std::uint64_t kPollMask = 4095;
+
+// ---------------------------------------------------------- StreamTriad --
+
+void
+runStreamTriad(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t n = std::max<std::size_t>(p.mainBytes / 24, 1024);
+    AddressSpace space;
+    TracedArray<double> a(n, space, sink, 0.0);
+    TracedArray<double> b(n, space, sink, 1.0);
+    TracedArray<double> c(n, space, sink, 2.0);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_b = region.allocate();
+    const Pc pc_c = region.allocate();
+    const Pc pc_a = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    std::uint64_t i = 0;
+    while (sink.wantsMore()) {
+        const std::size_t idx = i % n;
+        const double x = b.load(idx, pc_b) + 3.0 * c.load(idx, pc_c);
+        a.store(idx, x, pc_a);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            return;
+    }
+}
+
+// ----------------------------------------------------------- ScanThrash --
+
+void
+runScanThrash(InstructionSink &sink, const SynthParams &p)
+{
+    // One load per cache block; the scan wraps around a buffer sized
+    // just beyond the LLC so LRU evicts every block moments before its
+    // next use.
+    const std::size_t n = std::max<std::size_t>(p.mainBytes / 8, 1024);
+    AddressSpace space;
+    TracedArray<std::uint64_t> buf(n, space, sink, 1);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_ld = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    std::uint64_t i = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        const std::size_t idx = (i * 8) % n; // one access per 64 B block
+        acc += buf.load(idx, pc_ld);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
+// -------------------------------------------------------------- HotCold --
+
+void
+runHotCold(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t hot_n = std::max<std::size_t>(p.hotBytes / 8, 512);
+    const std::size_t cold_n = std::max<std::size_t>(p.mainBytes / 8, 4096);
+    AddressSpace space;
+    TracedArray<std::uint64_t> hot(hot_n, space, sink, 1);
+    TracedArray<std::uint64_t> cold(cold_n, space, sink, 2);
+    InstructionMix mix(sink);
+
+    // Several distinct hot-access sites so the PC-indexed predictors
+    // see a population of "reusing" signatures, one cold-stream site
+    // that they can learn as dead-on-arrival.
+    PcRegion region(p.pcWorkloadId);
+    Pc pc_hot[4];
+    for (Pc &pc : pc_hot)
+        pc = region.allocate();
+    const Pc pc_cold = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    Rng rng(p.seed);
+    std::uint64_t i = 0;
+    std::uint64_t cold_pos = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        if (rng.nextBool(p.hotFraction)) {
+            const std::size_t idx = rng.nextBounded(hot_n);
+            acc += hot.load(idx, pc_hot[i & 3]);
+        } else {
+            cold_pos = (cold_pos + 8) % cold_n; // streaming, block stride
+            acc += cold.load(cold_pos, pc_cold);
+        }
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
+// --------------------------------------------------------- PointerChase --
+
+void
+runPointerChase(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t n = std::max<std::size_t>(p.mainBytes / 8, 1024);
+    AddressSpace space;
+    TracedArray<std::uint64_t> next(n, space, sink, 0);
+    InstructionMix mix(sink);
+
+    // Sattolo's algorithm: a single cycle covering every node, so the
+    // chase never revisits a node until the whole set has been walked.
+    Rng rng(p.seed);
+    for (std::size_t i = 0; i < n; ++i)
+        next.raw(i) = i;
+    for (std::size_t i = n - 1; i > 0; --i) {
+        const std::size_t j = rng.nextBounded(i);
+        std::swap(next.raw(i), next.raw(j));
+    }
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_chase = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    std::uint64_t pos = 0;
+    std::uint64_t i = 0;
+    while (sink.wantsMore()) {
+        pos = next.load(pos, pc_chase);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            return;
+    }
+}
+
+// ------------------------------------------------------------ Stencil2D --
+
+void
+runStencil2D(InstructionSink &sink, const SynthParams &p)
+{
+    // Square-ish grid of doubles totalling mainBytes; a row triple
+    // (width * 24 bytes) is the reusable unit between sweeps of y.
+    const std::size_t cells = std::max<std::size_t>(p.mainBytes / 8, 4096);
+    const std::size_t width = 1024;
+    const std::size_t height = std::max<std::size_t>(cells / width, 8);
+    AddressSpace space;
+    TracedArray<double> in(width * height, space, sink, 1.0);
+    TracedArray<double> out(width * height, space, sink, 0.0);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_c = region.allocate();
+    const Pc pc_w = region.allocate();
+    const Pc pc_e = region.allocate();
+    const Pc pc_n = region.allocate();
+    const Pc pc_s = region.allocate();
+    const Pc pc_st = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    std::uint64_t ops = 0;
+    while (sink.wantsMore()) {
+        for (std::size_t y = 1; y + 1 < height; ++y) {
+            for (std::size_t x = 1; x + 1 < width; ++x) {
+                const std::size_t i = y * width + x;
+                const double v = 0.2 * (in.load(i, pc_c) +
+                                        in.load(i - 1, pc_w) +
+                                        in.load(i + 1, pc_e) +
+                                        in.load(i - width, pc_n) +
+                                        in.load(i + width, pc_s));
+                out.store(i, v, pc_st);
+                mix.alu(pc_alu, p.aluPerOp);
+                mix.branch(pc_br);
+                if ((++ops & kPollMask) == 0 && !sink.wantsMore())
+                    return;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ MixedPhase --
+
+void
+runMixedPhase(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t scan_n = std::max<std::size_t>(p.mainBytes / 8, 4096);
+    const std::size_t hot_n = std::max<std::size_t>(p.hotBytes / 8, 512);
+    AddressSpace space;
+    TracedArray<std::uint64_t> scan(scan_n, space, sink, 1);
+    TracedArray<std::uint64_t> hot(hot_n, space, sink, 2);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_scan = region.allocate();
+    const Pc pc_hot = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    Rng rng(p.seed);
+    std::uint64_t acc = 0;
+    std::uint64_t scan_pos = 0;
+    bool scanning = true;
+    while (sink.wantsMore()) {
+        for (std::uint64_t op = 0; op < p.phaseOps; ++op) {
+            if (scanning) {
+                scan_pos = (scan_pos + 8) % scan_n;
+                acc += scan.load(scan_pos, pc_scan);
+            } else {
+                acc += hot.load(rng.nextBounded(hot_n), pc_hot);
+            }
+            mix.alu(pc_alu, p.aluPerOp);
+            mix.branch(pc_br);
+            if ((op & kPollMask) == 0 && !sink.wantsMore())
+                return;
+        }
+        scanning = !scanning;
+    }
+    (void)acc;
+}
+
+// -------------------------------------------------------------- DeadFill --
+
+void
+runDeadFill(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t out_n = std::max<std::size_t>(p.mainBytes / 8, 4096);
+    const std::size_t live_n = std::max<std::size_t>(p.hotBytes / 8, 512);
+    AddressSpace space;
+    TracedArray<std::uint64_t> output(out_n, space, sink, 0);
+    TracedArray<std::uint64_t> live(live_n, space, sink, 3);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_dead_st = region.allocate();
+    const Pc pc_live_ld = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    Rng rng(p.seed);
+    std::uint64_t i = 0;
+    std::uint64_t out_pos = 0;
+    while (sink.wantsMore()) {
+        // Produce one output block (dead: never read back), consuming
+        // a couple of live values.
+        const std::uint64_t v = live.load(rng.nextBounded(live_n),
+                                          pc_live_ld) +
+                                live.load(rng.nextBounded(live_n),
+                                          pc_live_ld);
+        out_pos = (out_pos + 8) % out_n;
+        output.store(out_pos, v, pc_dead_st);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            return;
+    }
+}
+
+// ------------------------------------------------------------ GatherZipf --
+
+void
+runGatherZipf(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t table_n = std::max<std::size_t>(p.mainBytes / 8, 4096);
+    const std::size_t idx_n = 1u << 16;
+    AddressSpace space;
+    TracedArray<std::uint32_t> indices(idx_n, space, sink, 0);
+    TracedArray<std::uint64_t> table(table_n, space, sink, 5);
+    InstructionMix mix(sink);
+
+    Rng rng(p.seed);
+    for (std::size_t i = 0; i < idx_n; ++i) {
+        indices.raw(i) =
+            static_cast<std::uint32_t>(rng.nextZipf(table_n, p.zipfSkew));
+    }
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_idx = region.allocate();
+    const Pc pc_gather = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    std::uint64_t i = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        const std::uint32_t target = indices.load(i % idx_n, pc_idx);
+        acc += table.load(target, pc_gather);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
+// ------------------------------------------------------------ TreeSearch --
+
+void
+runTreeSearch(InstructionSink &sink, const SynthParams &p)
+{
+    // Implicit binary tree in an array; each level gets its own access
+    // PC, so the top levels (tiny, always resident) and the deep levels
+    // (huge, effectively random) have cleanly separable signatures.
+    const std::size_t n = std::max<std::size_t>(p.mainBytes / 16, 1024);
+    AddressSpace space;
+    TracedArray<std::uint64_t> keys(n, space, sink, 0);
+    InstructionMix mix(sink);
+
+    for (std::size_t i = 0; i < n; ++i)
+        keys.raw(i) = i * 2654435761ull; // arbitrary stable key mix
+
+    constexpr unsigned kMaxLevels = 28;
+    PcRegion region(p.pcWorkloadId);
+    Pc pc_level[kMaxLevels];
+    for (Pc &pc : pc_level)
+        pc = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    Rng rng(p.seed);
+    std::uint64_t i = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        const std::uint64_t probe = rng.next();
+        std::size_t node = 0;
+        unsigned level = 0;
+        while (node < n && level < kMaxLevels) {
+            acc += keys.load(node, pc_level[level]);
+            mix.alu(pc_alu, 2);
+            mix.branch(pc_br);
+            node = 2 * node + 1 + ((probe >> level) & 1);
+            ++level;
+        }
+        mix.alu(pc_alu, p.aluPerOp);
+        if ((++i & 255) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
+// --------------------------------------------------------------- SmallWs --
+
+void
+runSmallWs(InstructionSink &sink, const SynthParams &p)
+{
+    const std::size_t n =
+        std::max<std::size_t>(std::min<std::uint64_t>(p.mainBytes,
+                                                      512 * 1024) / 8, 512);
+    AddressSpace space;
+    TracedArray<std::uint64_t> buf(n, space, sink, 7);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    const Pc pc_ld = region.allocate();
+    const Pc pc_st = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    Rng rng(p.seed);
+    std::uint64_t i = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        const std::size_t idx = rng.nextBounded(n);
+        acc += buf.load(idx, pc_ld);
+        if ((i & 7) == 0)
+            buf.store(idx, acc, pc_st);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
+} // anonymous namespace
+
+const char *
+synthPatternName(SynthPattern pattern)
+{
+    switch (pattern) {
+      case SynthPattern::StreamTriad: return "stream_triad";
+      case SynthPattern::ScanThrash: return "scan_thrash";
+      case SynthPattern::HotCold: return "hot_cold";
+      case SynthPattern::PointerChase: return "pointer_chase";
+      case SynthPattern::Stencil2D: return "stencil2d";
+      case SynthPattern::MixedPhase: return "mixed_phase";
+      case SynthPattern::DeadFill: return "dead_fill";
+      case SynthPattern::GatherZipf: return "gather_zipf";
+      case SynthPattern::TreeSearch: return "tree_search";
+      case SynthPattern::SmallWs: return "small_ws";
+    }
+    return "unknown";
+}
+
+SyntheticWorkload::SyntheticWorkload(std::string suite_tag,
+                                     SynthPattern pattern,
+                                     SynthParams params,
+                                     std::string variant)
+    : pat(pattern), prm(params),
+      displayName(std::move(suite_tag) + "." + synthPatternName(pattern) +
+                  (variant.empty() ? "" : "_" + variant))
+{}
+
+void
+SyntheticWorkload::run(InstructionSink &sink)
+{
+    switch (pat) {
+      case SynthPattern::StreamTriad: runStreamTriad(sink, prm); break;
+      case SynthPattern::ScanThrash: runScanThrash(sink, prm); break;
+      case SynthPattern::HotCold: runHotCold(sink, prm); break;
+      case SynthPattern::PointerChase: runPointerChase(sink, prm); break;
+      case SynthPattern::Stencil2D: runStencil2D(sink, prm); break;
+      case SynthPattern::MixedPhase: runMixedPhase(sink, prm); break;
+      case SynthPattern::DeadFill: runDeadFill(sink, prm); break;
+      case SynthPattern::GatherZipf: runGatherZipf(sink, prm); break;
+      case SynthPattern::TreeSearch: runTreeSearch(sink, prm); break;
+      case SynthPattern::SmallWs: runSmallWs(sink, prm); break;
+    }
+    sink.onEnd();
+}
+
+std::vector<std::shared_ptr<Workload>>
+makeSpec06Suite(std::uint32_t first_pc_workload_id)
+{
+    // Like SPEC itself, the suite is mostly cache-friendly or policy-
+    // neutral members with a minority of replacement-sensitive ones;
+    // the geomean should move by percent, not by factors.
+    std::vector<std::shared_ptr<Workload>> suite;
+    std::uint32_t id = first_pc_workload_id;
+    auto add = [&](SynthPattern pattern, SynthParams p,
+                   const char *variant = "") {
+        p.pcWorkloadId = id++;
+        suite.push_back(std::make_shared<SyntheticWorkload>(
+            "spec06", pattern, p, variant));
+    };
+
+    // Footprints tuned against the 1.375 MB simulated LLC.
+    SynthParams p;
+
+    p.mainBytes = 16ull << 20;
+    add(SynthPattern::StreamTriad, p);
+
+    p = SynthParams{};
+    p.mainBytes = 2ull << 20; // just past the LLC: RRIP's best case
+    add(SynthPattern::ScanThrash, p);
+
+    p = SynthParams{};
+    p.mainBytes = 32ull << 20;
+    p.hotBytes = 640ull << 10;
+    p.hotFraction = 0.9;
+    add(SynthPattern::HotCold, p);
+
+    p = SynthParams{};
+    p.mainBytes = 8ull << 20;
+    add(SynthPattern::PointerChase, p);
+
+    p.mainBytes = 6ull << 20;
+    add(SynthPattern::Stencil2D, p);
+
+    p = SynthParams{};
+    p.mainBytes = 2ull << 20;
+    p.hotBytes = 512ull << 10;
+    add(SynthPattern::MixedPhase, p);
+
+    p = SynthParams{};
+    p.mainBytes = 16ull << 20;
+    p.hotBytes = 512ull << 10;
+    add(SynthPattern::DeadFill, p);
+
+    p = SynthParams{};
+    p.mainBytes = 8ull << 20;
+    p.zipfSkew = 0.8;
+    add(SynthPattern::GatherZipf, p);
+
+    p = SynthParams{};
+    p.mainBytes = 16ull << 20;
+    add(SynthPattern::TreeSearch, p);
+
+    p = SynthParams{};
+    p.mainBytes = 512ull << 10;
+    add(SynthPattern::SmallWs, p);
+
+    // Policy-neutral members (cache-resident or purely streaming),
+    // mirroring the majority of the real suite.
+    p = SynthParams{};
+    p.mainBytes = 384ull << 10;
+    p.seed = 11;
+    add(SynthPattern::SmallWs, p, "2");
+
+    p = SynthParams{};
+    p.mainBytes = 24ull << 20;
+    p.seed = 12;
+    add(SynthPattern::StreamTriad, p, "2");
+
+    p = SynthParams{};
+    p.mainBytes = 1ull << 20; // grid fits the L2+LLC
+    add(SynthPattern::Stencil2D, p, "small");
+
+    p = SynthParams{};
+    p.mainBytes = 4ull << 20;
+    p.hotBytes = 448ull << 10;
+    p.hotFraction = 0.97; // nearly resident
+    add(SynthPattern::HotCold, p, "resident");
+
+    return suite;
+}
+
+std::vector<std::shared_ptr<Workload>>
+makeSpec17Suite(std::uint32_t first_pc_workload_id)
+{
+    std::vector<std::shared_ptr<Workload>> suite;
+    std::uint32_t id = first_pc_workload_id;
+    auto add = [&](SynthPattern pattern, SynthParams p,
+                   const char *variant = "") {
+        p.pcWorkloadId = id++;
+        p.seed ^= 0x2017;
+        suite.push_back(std::make_shared<SyntheticWorkload>(
+            "spec17", pattern, p, variant));
+    };
+
+    // The 2017 refresh grew working sets; same classes, bigger and
+    // more skewed.
+    SynthParams p;
+
+    p.mainBytes = 48ull << 20;
+    add(SynthPattern::StreamTriad, p);
+
+    p = SynthParams{};
+    p.mainBytes = 3ull << 20;
+    add(SynthPattern::ScanThrash, p);
+
+    p = SynthParams{};
+    p.mainBytes = 64ull << 20;
+    p.hotBytes = 1024ull << 10;
+    p.hotFraction = 0.85;
+    add(SynthPattern::HotCold, p);
+
+    p = SynthParams{};
+    p.mainBytes = 24ull << 20;
+    add(SynthPattern::PointerChase, p);
+
+    p.mainBytes = 16ull << 20;
+    add(SynthPattern::Stencil2D, p);
+
+    p = SynthParams{};
+    p.mainBytes = 3ull << 20;
+    p.hotBytes = 768ull << 10;
+    p.phaseOps = 1ull << 19;
+    add(SynthPattern::MixedPhase, p);
+
+    p = SynthParams{};
+    p.mainBytes = 32ull << 20;
+    p.hotBytes = 896ull << 10;
+    add(SynthPattern::DeadFill, p);
+
+    p = SynthParams{};
+    p.mainBytes = 24ull << 20;
+    p.zipfSkew = 1.05;
+    add(SynthPattern::GatherZipf, p);
+
+    p = SynthParams{};
+    p.mainBytes = 40ull << 20;
+    add(SynthPattern::TreeSearch, p);
+
+    p = SynthParams{};
+    p.mainBytes = 768ull << 10;
+    add(SynthPattern::SmallWs, p);
+
+    // Policy-neutral members.
+    p = SynthParams{};
+    p.mainBytes = 256ull << 10;
+    p.seed = 21;
+    add(SynthPattern::SmallWs, p, "2");
+
+    p = SynthParams{};
+    p.mainBytes = 64ull << 20;
+    p.seed = 22;
+    add(SynthPattern::StreamTriad, p, "2");
+
+    p = SynthParams{};
+    p.mainBytes = (1280ull) << 10;
+    add(SynthPattern::Stencil2D, p, "small");
+
+    p = SynthParams{};
+    p.mainBytes = 6ull << 20;
+    p.hotBytes = 512ull << 10;
+    p.hotFraction = 0.97;
+    add(SynthPattern::HotCold, p, "resident");
+
+    return suite;
+}
+
+} // namespace cachescope

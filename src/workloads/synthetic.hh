@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic CPU-workload kernels standing in for SPEC CPU 2006/2017.
+ *
+ * SPEC is proprietary, so the paper's SPEC trace sets cannot be
+ * reproduced verbatim. What the evaluated replacement policies actually
+ * key on, however, is a small set of access-pattern *classes* — and
+ * SPEC's value in the paper is as the regime where those classes occur
+ * with learnable, PC-stable behaviour. Each kernel below is one such
+ * class, executing for real over TracedArray memory:
+ *
+ *  - StreamTriad:  pure streaming (a[i] = b[i] + s*c[i]), no reuse.
+ *  - ScanThrash:   cyclic scan over a working set slightly larger than
+ *                  the LLC — LRU's pathological case, RRIP's best case.
+ *  - HotCold:      skewed reuse on a resident hot set plus a cold
+ *                  stream from distinct PCs — SHiP/Hawkeye territory.
+ *  - PointerChase: dependent random chase, defeats everything.
+ *  - Stencil2D:    5-point stencil; rows reused across sweeps.
+ *  - MixedPhase:   alternating thrash/reuse phases — DRRIP's dueling.
+ *  - DeadFill:     a store-only output stream (dead on arrival) over a
+ *                  live reuse set — bypass/DOA insertion pays off.
+ *  - GatherZipf:   indexed gather with Zipf-skewed indices.
+ *  - TreeSearch:   implicit binary-tree descent with one PC per level:
+ *                  top levels cache-friendly, leaf levels averse.
+ *  - SmallWs:      cache-resident working set (sanity anchor ~1.0x).
+ *
+ * Unlike the graph kernels, these expose many distinct memory PCs with
+ * stable per-PC reuse — the contrast the paper's Fig. 3 argument needs.
+ */
+
+#ifndef CACHESCOPE_WORKLOADS_SYNTHETIC_HH
+#define CACHESCOPE_WORKLOADS_SYNTHETIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace cachescope {
+
+/** The synthetic access-pattern classes. */
+enum class SynthPattern
+{
+    StreamTriad,
+    ScanThrash,
+    HotCold,
+    PointerChase,
+    Stencil2D,
+    MixedPhase,
+    DeadFill,
+    GatherZipf,
+    TreeSearch,
+    SmallWs,
+};
+
+/** @return a short name for @p pattern ("stream_triad", ...). */
+const char *synthPatternName(SynthPattern pattern);
+
+/** Parameters of one synthetic kernel instance. */
+struct SynthParams
+{
+    std::uint32_t pcWorkloadId = 0;
+    std::uint64_t seed = 7;
+    /** Primary working-set size in bytes. */
+    std::uint64_t mainBytes = 8ull << 20;
+    /** Hot-subset size for HotCold / DeadFill / MixedPhase. */
+    std::uint64_t hotBytes = 768ull << 10;
+    /** Fraction of accesses hitting the hot subset. */
+    double hotFraction = 0.9;
+    /** Zipf skew for GatherZipf. */
+    double zipfSkew = 0.8;
+    /** ALU instructions modelled per memory operation. */
+    std::uint32_t aluPerOp = 6;
+    /** Operations per phase for MixedPhase. */
+    std::uint64_t phaseOps = 1ull << 18;
+};
+
+/**
+ * One synthetic workload = (pattern, params). Runs until the sink stops
+ * wanting records (the kernels are endless by construction).
+ */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param suite_tag suite prefix for the display name ("spec06").
+     * @param pattern access-pattern class.
+     * @param params kernel parameters.
+     * @param variant optional suffix distinguishing same-pattern suite
+     *        members ("2", "small", ...).
+     */
+    SyntheticWorkload(std::string suite_tag, SynthPattern pattern,
+                      SynthParams params, std::string variant = "");
+
+    const std::string &name() const override { return displayName; }
+    void run(InstructionSink &sink) override;
+
+    SynthPattern pattern() const { return pat; }
+    const SynthParams &params() const { return prm; }
+
+  private:
+    SynthPattern pat;
+    SynthParams prm;
+    std::string displayName;
+};
+
+/**
+ * @return the "SPEC 2006-like" suite: ten kernels with working sets
+ * and skews sized for the simulated 1.375 MB LLC.
+ * @param first_pc_workload_id PC-region id of the first member.
+ */
+std::vector<std::shared_ptr<Workload>>
+makeSpec06Suite(std::uint32_t first_pc_workload_id = 100);
+
+/**
+ * @return the "SPEC 2017-like" suite: the same classes at the larger
+ * footprints and higher skews typical of the 2017 refresh.
+ */
+std::vector<std::shared_ptr<Workload>>
+makeSpec17Suite(std::uint32_t first_pc_workload_id = 200);
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_WORKLOADS_SYNTHETIC_HH

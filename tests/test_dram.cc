@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the DDR4 model: address mapping, row-buffer timing,
+ * bank and bus contention, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/dram.hh"
+
+namespace cachescope {
+namespace {
+
+DramConfig
+tinyConfig()
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 4;
+    cfg.rowBytes = 1024;
+    cfg.blockBytes = 64;
+    cfg.tCas = 10;
+    cfg.tRcd = 10;
+    cfg.tRp = 10;
+    cfg.tBurst = 4;
+    cfg.tController = 2;
+    return cfg;
+}
+
+TEST(DramConfig, Ddr4FactoryScalesWithFrequency)
+{
+    const DramConfig at4 = DramConfig::ddr4_2933(4.0);
+    const DramConfig at2 = DramConfig::ddr4_2933(2.0);
+    EXPECT_EQ(at4.capacityBytes, 8ull << 30);
+    EXPECT_NEAR(static_cast<double>(at4.tCas),
+                2.0 * static_cast<double>(at2.tCas), 1.0);
+    EXPECT_GT(at4.tCas, 0u);
+    EXPECT_GT(at4.tBurst, 0u);
+}
+
+TEST(DramMap, DecompositionRoundTrips)
+{
+    DramModel dram(tinyConfig());
+    // blocks per row = 16; banks = 4.
+    const auto m0 = dram.map(0);
+    EXPECT_EQ(m0.channel, 0u);
+    EXPECT_EQ(m0.bank, 0u);
+    EXPECT_EQ(m0.row, 0u);
+    EXPECT_EQ(m0.column, 0u);
+
+    // Next block: same row, next column.
+    const auto m1 = dram.map(64);
+    EXPECT_EQ(m1.bank, m0.bank);
+    EXPECT_EQ(m1.row, m0.row);
+    EXPECT_EQ(m1.column, 1u);
+
+    // One full row later: next bank.
+    const auto m2 = dram.map(1024);
+    EXPECT_EQ(m2.bank, 1u);
+    EXPECT_EQ(m2.row, 0u);
+
+    // Past all banks: row increments.
+    const auto m3 = dram.map(1024 * 4);
+    EXPECT_EQ(m3.bank, 0u);
+    EXPECT_EQ(m3.row, 1u);
+}
+
+TEST(DramTiming, RowMissThenHit)
+{
+    const DramConfig cfg = tinyConfig();
+    DramModel dram(cfg);
+
+    // First access to a closed bank: controller + tRCD + tCAS + burst.
+    const Cycle done1 = dram.read(0, 0);
+    EXPECT_EQ(done1, cfg.tController + cfg.tRcd + cfg.tCas + cfg.tBurst);
+    EXPECT_EQ(dram.stats().rowMisses, 1u);
+
+    // Same row, much later: row hit, no tRCD.
+    const Cycle start = 1000;
+    const Cycle done2 = dram.read(64, start);
+    EXPECT_EQ(done2, start + cfg.tController + cfg.tCas + cfg.tBurst);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+}
+
+TEST(DramTiming, RowConflictPaysPrecharge)
+{
+    const DramConfig cfg = tinyConfig();
+    DramModel dram(cfg);
+    dram.read(0, 0);
+    // Same bank (bank stride = rowBytes), different row.
+    const Cycle start = 1000;
+    const Addr other_row = 1024 * 4; // bank 0, row 1
+    const Cycle done = dram.read(other_row, start);
+    EXPECT_EQ(done, start + cfg.tController + cfg.tRp + cfg.tRcd +
+                        cfg.tCas + cfg.tBurst);
+    EXPECT_EQ(dram.stats().rowConflicts, 1u);
+}
+
+TEST(DramTiming, OpenRowColumnsPipelineAtBurstRate)
+{
+    const DramConfig cfg = tinyConfig();
+    DramModel dram(cfg);
+    const Cycle done1 = dram.read(0, 0);
+    // Back-to-back same-row request: the CAS pipelines behind the
+    // first one and the data bus is the bottleneck.
+    const Cycle done2 = dram.read(64, 0);
+    EXPECT_EQ(done2, done1 + cfg.tBurst);
+    // Sustained row-hit streaming stays bus-rate limited.
+    Cycle prev = done2;
+    for (int i = 2; i < 10; ++i) {
+        const Cycle done = dram.read(static_cast<Addr>(i) * 64, 0);
+        EXPECT_EQ(done, prev + cfg.tBurst);
+        prev = done;
+    }
+}
+
+TEST(DramTiming, RowConflictOccupiesTheBank)
+{
+    const DramConfig cfg = tinyConfig();
+    DramModel dram(cfg);
+    dram.read(0, 0); // opens row 0 of bank 0
+    // Conflicting row in the same bank, then a hit to the new row:
+    // the second request waits for precharge+activate of the first.
+    const Cycle conflict_done = dram.read(1024 * 4, 0);
+    const Cycle after = dram.read(1024 * 4 + 64, 0);
+    EXPECT_GT(conflict_done, cfg.tRp + cfg.tRcd);
+    EXPECT_GE(after, conflict_done);
+}
+
+TEST(DramTiming, DifferentBanksOverlap)
+{
+    const DramConfig cfg = tinyConfig();
+    DramModel dram(cfg);
+    const Cycle done1 = dram.read(0, 0);       // bank 0
+    const Cycle done2 = dram.read(1024, 0);    // bank 1, same time
+    // Bank 1 works in parallel; only the data bus serializes, so the
+    // second finishes one burst after the first, not a full access.
+    EXPECT_EQ(done2, done1 + cfg.tBurst);
+}
+
+TEST(DramTiming, LatencyMonotoneWithTime)
+{
+    DramModel dram(tinyConfig());
+    Cycle prev = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Cycle done = dram.read(static_cast<Addr>(i) * 64, prev);
+        EXPECT_GT(done, prev);
+        prev = done;
+    }
+}
+
+TEST(DramStatsTest, CountsReadsWritesAndLatency)
+{
+    DramModel dram(tinyConfig());
+    dram.read(0, 0);
+    dram.write(64, 0);
+    dram.write(128, 0);
+    const DramStats &s = dram.stats();
+    EXPECT_EQ(s.reads, 1u);
+    EXPECT_EQ(s.writes, 2u);
+    EXPECT_EQ(s.accesses(), 3u);
+    EXPECT_GT(s.avgLatency(), 0.0);
+    EXPECT_GE(s.rowHitRate(), 0.0);
+    EXPECT_LE(s.rowHitRate(), 1.0);
+}
+
+TEST(DramStatsTest, ResetClearsEverything)
+{
+    DramModel dram(tinyConfig());
+    dram.read(0, 0);
+    dram.reset();
+    EXPECT_EQ(dram.stats().accesses(), 0u);
+    // After reset the bank is closed again: a re-read is a row miss.
+    dram.read(0, 0);
+    EXPECT_EQ(dram.stats().rowMisses, 1u);
+}
+
+TEST(DramStatsTest, ResetStatsKeepsBankState)
+{
+    DramModel dram(tinyConfig());
+    dram.read(0, 1000);
+    dram.resetStats();
+    EXPECT_EQ(dram.stats().accesses(), 0u);
+    // Row stays open across a stats reset: this access is a row hit.
+    dram.read(64, 5000);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+}
+
+TEST(DramTiming, StreamingGetsHighRowHitRate)
+{
+    DramModel dram(DramConfig::ddr4_2933());
+    Cycle now = 0;
+    for (Addr a = 0; a < 512 * 1024; a += 64)
+        now = dram.read(a, now);
+    EXPECT_GT(dram.stats().rowHitRate(), 0.9);
+}
+
+TEST(DramTiming, RandomAccessGetsLowRowHitRate)
+{
+    DramModel dram(DramConfig::ddr4_2933());
+    Cycle now = 0;
+    std::uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < 4096; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        now = dram.read((x % (1ull << 30)) & ~Addr{63}, now);
+    }
+    EXPECT_LT(dram.stats().rowHitRate(), 0.2);
+}
+
+} // namespace
+} // namespace cachescope

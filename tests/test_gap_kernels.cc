@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the instrumented GAP kernels: every kernel must run to
+ * completion on small graphs, emit well-formed deterministic streams
+ * with few distinct memory PCs, and respect sink budgets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "graph/gap_kernels.hh"
+#include "graph/gap_suite.hh"
+#include "graph/generators.hh"
+#include "test_helpers.hh"
+#include "trace/profile.hh"
+
+namespace cachescope {
+namespace {
+
+using test::BoundedSink;
+using test::HashingSink;
+
+std::shared_ptr<const CsrGraph>
+smallGraph()
+{
+    static auto g = std::make_shared<const CsrGraph>(
+        makeKronecker(10, 8, 42));
+    return g;
+}
+
+const std::vector<GapKernel> &
+allKernels()
+{
+    static const std::vector<GapKernel> kernels = {
+        GapKernel::Bfs, GapKernel::PageRank, GapKernel::Cc,
+        GapKernel::Bc, GapKernel::Sssp, GapKernel::Tc};
+    return kernels;
+}
+
+class GapKernelTest : public ::testing::TestWithParam<GapKernel>
+{};
+
+TEST_P(GapKernelTest, EmitsMixedWellFormedStream)
+{
+    GapKernelParams params;
+    params.maxRepeats = 1;
+    GapWorkload workload(GetParam(), "kron10", smallGraph(), params);
+
+    CountingSink sink;
+    workload.run(sink);
+
+    EXPECT_GT(sink.total, 10000u) << "suspiciously short stream";
+    EXPECT_GT(sink.loads, 0u);
+    EXPECT_GT(sink.alu, 0u);
+    EXPECT_GT(sink.branches, 0u);
+    // Graph kernels are load-dominated but not load-only.
+    EXPECT_GT(sink.alu, sink.loads / 2);
+}
+
+TEST_P(GapKernelTest, StreamIsDeterministic)
+{
+    GapKernelParams params;
+    params.maxRepeats = 1;
+    GapWorkload w1(GetParam(), "kron10", smallGraph(), params);
+    GapWorkload w2(GetParam(), "kron10", smallGraph(), params);
+    HashingSink a, b;
+    w1.run(a);
+    w2.run(b);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST_P(GapKernelTest, RespectsSinkBudget)
+{
+    GapKernelParams params;
+    GapWorkload workload(GetParam(), "kron10", smallGraph(), params);
+    BoundedSink sink(50000);
+    workload.run(sink);
+    EXPECT_EQ(sink.consumed, 50000u);
+    // The kernels poll at coarse granularity; the spill past the budget
+    // must stay bounded by one polling interval's worth of records.
+    EXPECT_LT(sink.overflow, 100000u);
+}
+
+TEST_P(GapKernelTest, FewMemoryPcsManyAddresses)
+{
+    // The paper's core observation: graph kernels run a handful of
+    // static memory PCs, each touching a huge number of blocks.
+    GapKernelParams params;
+    params.maxRepeats = 1;
+    GapWorkload workload(GetParam(), "kron10", smallGraph(), params);
+    PcProfiler profiler;
+    workload.run(profiler);
+
+    const PcProfileSummary s = profiler.summarize();
+    EXPECT_GT(s.memoryAccesses, 1000u);
+    EXPECT_LE(s.distinctMemoryPcs, 32u);
+    EXPECT_GT(s.maxBlocksPerPc, 500u);
+}
+
+TEST_P(GapKernelTest, PcsStayInsideWorkloadRegion)
+{
+    GapKernelParams params;
+    params.maxRepeats = 1;
+    params.pcWorkloadId = 7;
+    GapWorkload workload(GetParam(), "kron10", smallGraph(), params);
+    test::VectorSink sink;
+    // Use a smaller graph run bounded via maxRepeats=1; scan all PCs.
+    workload.run(sink);
+    const Pc base = 0x400000 + 7ull * 64 * 1024;
+    for (const auto &rec : sink.records) {
+        EXPECT_GE(rec.pc, base);
+        EXPECT_LT(rec.pc, base + 64 * 1024);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, GapKernelTest, ::testing::ValuesIn(allKernels()),
+    [](const ::testing::TestParamInfo<GapKernel> &info) {
+        return gapKernelName(info.param);
+    });
+
+TEST(GapWorkloadTest, NamesComposeKernelAndGraph)
+{
+    GapWorkload w(GapKernel::PageRank, "kron10", smallGraph(), {});
+    EXPECT_EQ(w.name(), "pr.kron10");
+    EXPECT_EQ(w.kernel(), GapKernel::PageRank);
+}
+
+TEST(GapWorkloadTest, KernelNames)
+{
+    EXPECT_STREQ(gapKernelName(GapKernel::Bfs), "bfs");
+    EXPECT_STREQ(gapKernelName(GapKernel::PageRank), "pr");
+    EXPECT_STREQ(gapKernelName(GapKernel::Cc), "cc");
+    EXPECT_STREQ(gapKernelName(GapKernel::Bc), "bc");
+    EXPECT_STREQ(gapKernelName(GapKernel::Sssp), "sssp");
+    EXPECT_STREQ(gapKernelName(GapKernel::Tc), "tc");
+}
+
+TEST(GapWorkloadTest, RepeatsUntilBudgetExhausted)
+{
+    // One BFS on kron10 is far smaller than this budget; the workload
+    // must restart from new sources to keep feeding the sink.
+    GapKernelParams params;
+    params.maxRepeats = 1024;
+    GapWorkload workload(GapKernel::Bfs, "kron10", smallGraph(), params);
+    BoundedSink sink(2'000'000);
+    workload.run(sink);
+    EXPECT_EQ(sink.consumed, 2'000'000u);
+}
+
+TEST(GapSuiteTest, BuildsAllKernelInputPairs)
+{
+    GapSuiteConfig cfg;
+    cfg.scale = 8;
+    cfg.avgDegree = 4;
+    const auto suite = makeGapSuite(cfg);
+    ASSERT_EQ(suite.size(), 12u); // 6 kernels x {kron, urand}
+    std::set<std::string> names;
+    for (const auto &w : suite)
+        names.insert(w->name());
+    EXPECT_EQ(names.size(), 12u);
+    EXPECT_TRUE(names.count("bfs.kron8"));
+    EXPECT_TRUE(names.count("tc.urand8"));
+}
+
+TEST(GapSuiteTest, KernelSubsetAndSingleInput)
+{
+    GapSuiteConfig cfg;
+    cfg.scale = 8;
+    cfg.avgDegree = 4;
+    cfg.includeUniform = false;
+    cfg.kernels = {GapKernel::Bfs, GapKernel::PageRank};
+    const auto suite = makeGapSuite(cfg);
+    ASSERT_EQ(suite.size(), 2u);
+    EXPECT_EQ(suite[0]->name(), "bfs.kron8");
+    EXPECT_EQ(suite[1]->name(), "pr.kron8");
+}
+
+} // namespace
+} // namespace cachescope

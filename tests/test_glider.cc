@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for Glider: ISVM predictions, PCHR maintenance via
+ * observable behaviour, training from OPTgen labels, and insertion
+ * tiers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/glider.hh"
+#include "test_helpers.hh"
+
+namespace cachescope {
+namespace {
+
+using test::smallGeometry;
+
+TEST(Glider, InitialPredictionIsZero)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    EXPECT_EQ(glider.predictionSum(0x400000), 0);
+}
+
+TEST(Glider, ZeroSumCountsAsFriendlyMidInsertion)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    // Sum 0 (>= 0 but < high confidence): mid-stack insertion.
+    glider.update(1, 0, 0x400000, 1, AccessType::Load, false);
+    EXPECT_EQ(glider.rrpvOf(1, 0), GliderPolicy::kMaxRrpv / 4);
+}
+
+TEST(Glider, WritebackInsertsAverse)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    glider.update(1, 2, 0, 7, AccessType::Writeback, false);
+    EXPECT_EQ(glider.rrpvOf(1, 2), GliderPolicy::kMaxRrpv);
+}
+
+TEST(Glider, SampledSetCountMatchesTarget)
+{
+    GliderPolicy glider({2048, 11, 64});
+    int sampled = 0;
+    for (std::uint32_t s = 0; s < 2048; ++s)
+        sampled += glider.isSampledSet(s);
+    EXPECT_EQ(sampled, 64);
+}
+
+TEST(Glider, ReusePatternTrainsPositive)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    const Pc pc = 0x400040;
+    // Tight reuse in a sampled set: OPT hits, ISVM weights grow.
+    for (int i = 0; i < 200; ++i) {
+        glider.update(0, static_cast<std::uint32_t>(i % 2), pc,
+                      0x3000 + (i % 2), AccessType::Load, i >= 2);
+    }
+    EXPECT_GT(glider.predictionSum(pc), 0);
+}
+
+TEST(Glider, ThrashPatternTrainsNegative)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    const Pc pc = 0x400080;
+    // 16-block cycle over capacity 4: mostly OPT misses.
+    for (int round = 0; round < 50; ++round) {
+        for (Addr blk = 0; blk < 16; ++blk) {
+            glider.update(0, static_cast<std::uint32_t>(blk % 4), pc,
+                          0x4000 + blk, AccessType::Load, false);
+        }
+    }
+    EXPECT_LT(glider.predictionSum(pc), 0);
+
+    // Negative-sum fills insert at distant RRPV.
+    glider.update(1, 1, pc, 0x9000, AccessType::Load, false);
+    EXPECT_EQ(glider.rrpvOf(1, 1), GliderPolicy::kMaxRrpv);
+}
+
+TEST(Glider, HighConfidencePredictionProtectsAndAges)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    const Pc pc = 0x4000C0;
+    for (int i = 0; i < 400; ++i) {
+        glider.update(0, static_cast<std::uint32_t>(i % 2), pc,
+                      0x5000 + (i % 2), AccessType::Load, i >= 2);
+    }
+    ASSERT_GE(glider.predictionSum(pc), GliderPolicy::kHighConfidence);
+
+    // Plant a mid line, then a high-confidence fill: peer ages by one.
+    GliderPolicy fresh(smallGeometry(64, 4));
+    // (use the trained instance; unsampled set 65 doesn't exist, use
+    // set 1 which is sampled but training effect of two accesses is
+    // negligible next to the established weights)
+    glider.update(1, 0, 0x400FF0, 0x6000, AccessType::Load, false);
+    const std::uint8_t before = glider.rrpvOf(1, 0);
+    glider.update(1, 1, pc, 0x6001, AccessType::Load, false);
+    EXPECT_EQ(glider.rrpvOf(1, 1), 0);
+    EXPECT_EQ(glider.rrpvOf(1, 0), before + 1);
+    (void)fresh;
+}
+
+TEST(Glider, HistoryInfluencesPrediction)
+{
+    // The same fill PC must be able to produce different predictions
+    // under different PC histories — the capability Hawkeye lacks.
+    GliderPolicy glider(smallGeometry(64, 4));
+    const Pc target = 0x400100;
+    const Pc ctx_a = 0x400200;
+    const Pc ctx_b = 0x400300;
+
+    // Phase A: ctx_a preceding target with reuse (positive label).
+    for (int i = 0; i < 150; ++i) {
+        glider.update(0, 0, ctx_a, 0x7000, AccessType::Load, true);
+        glider.update(0, static_cast<std::uint32_t>(i % 2), target,
+                      0x7100 + (i % 2), AccessType::Load, i >= 2);
+    }
+    const std::int32_t sum_with_a = glider.predictionSum(target);
+    EXPECT_GT(sum_with_a, 0);
+
+    // Flush the trained context out of the depth-5 PC history with
+    // untrained PCs: the same target PC now predicts differently.
+    for (int i = 0; i < 5; ++i) {
+        glider.update(0, 3, ctx_b + 4 * static_cast<Pc>(i), 0x7200 + i,
+                      AccessType::Load, true);
+    }
+    const std::int32_t sum_flushed = glider.predictionSum(target);
+    EXPECT_LT(sum_flushed, sum_with_a);
+}
+
+TEST(Glider, VictimPrefersAverse)
+{
+    GliderPolicy glider(smallGeometry(64, 4));
+    glider.update(1, 0, 0x400000, 1, AccessType::Load, false);
+    glider.update(1, 1, 0x400004, 2, AccessType::Load, false);
+    glider.update(1, 2, 0x400008, 3, AccessType::Load, false);
+    glider.update(1, 3, 0, 4, AccessType::Writeback, false);
+    EXPECT_EQ(glider.findVictim(1, 0x400500, 9, AccessType::Load), 3u);
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the graph substrate: CSR construction invariants,
+ * transposition, and the generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/csr_graph.hh"
+#include "graph/generators.hh"
+
+namespace cachescope {
+namespace {
+
+TEST(CsrGraph, BuildsFromEdgeList)
+{
+    //   0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+    std::vector<WeightedEdge> edges = {
+        {0, 1, 5}, {0, 2, 6}, {1, 2, 7}, {2, 0, 8}};
+    const CsrGraph g = CsrGraph::fromEdges(3, edges, /*symmetrize=*/false);
+
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+
+    const auto n0 = g.neighbors(0);
+    EXPECT_EQ(std::set<NodeId>(n0.begin(), n0.end()),
+              (std::set<NodeId>{1, 2}));
+    EXPECT_EQ(g.neighbors(1)[0], 2u);
+    EXPECT_EQ(g.weights(1)[0], 7u);
+}
+
+TEST(CsrGraph, OffsetsAreMonotoneAndComplete)
+{
+    std::vector<WeightedEdge> edges = {{0, 3, 1}, {3, 0, 1}, {1, 2, 1}};
+    const CsrGraph g = CsrGraph::fromEdges(5, edges, false);
+    const auto &oa = g.offsetArray();
+    ASSERT_EQ(oa.size(), 6u);
+    EXPECT_EQ(oa.front(), 0u);
+    EXPECT_EQ(oa.back(), g.numEdges());
+    EXPECT_TRUE(std::is_sorted(oa.begin(), oa.end()));
+    // Vertex 4 has no edges.
+    EXPECT_EQ(g.degree(4), 0u);
+    EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(CsrGraph, SymmetrizeAddsReverseEdges)
+{
+    std::vector<WeightedEdge> edges = {{0, 1, 9}};
+    const CsrGraph g = CsrGraph::fromEdges(2, edges, /*symmetrize=*/true);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.neighbors(1)[0], 0u);
+    EXPECT_EQ(g.weights(1)[0], 9u);
+}
+
+TEST(CsrGraph, SymmetrizeKeepsSelfLoopsSingle)
+{
+    std::vector<WeightedEdge> edges = {{0, 0, 1}, {0, 1, 1}};
+    const CsrGraph g = CsrGraph::fromEdges(2, edges, true);
+    // Self-loop is not duplicated: 2 originals + 1 reverse = 3.
+    EXPECT_EQ(g.numEdges(), 3u);
+}
+
+TEST(CsrGraph, TransposeReversesAdjacency)
+{
+    std::vector<WeightedEdge> edges = {{0, 1, 3}, {0, 2, 4}, {2, 1, 5}};
+    const CsrGraph g = CsrGraph::fromEdges(3, edges, false);
+    const CsrGraph t = g.transpose();
+    EXPECT_EQ(t.numEdges(), g.numEdges());
+    EXPECT_EQ(t.degree(1), 2u); // in-degree of 1 was 2
+    EXPECT_EQ(t.degree(0), 0u);
+    const auto n1 = t.neighbors(1);
+    EXPECT_EQ(std::set<NodeId>(n1.begin(), n1.end()),
+              (std::set<NodeId>{0, 2}));
+}
+
+TEST(CsrGraph, DoubleTransposeIsIdentity)
+{
+    const CsrGraph g = makeUniform(8, 4, 7, /*symmetrize=*/false);
+    const CsrGraph tt = g.transpose().transpose();
+    ASSERT_EQ(tt.numNodes(), g.numNodes());
+    ASSERT_EQ(tt.numEdges(), g.numEdges());
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto a = g.neighbors(v);
+        auto b = tt.neighbors(v);
+        std::vector<NodeId> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+        std::sort(sa.begin(), sa.end());
+        std::sort(sb.begin(), sb.end());
+        EXPECT_EQ(sa, sb) << "vertex " << v;
+    }
+}
+
+TEST(Generators, KroneckerShape)
+{
+    const CsrGraph g = makeKronecker(10, 8, 1, /*symmetrize=*/false);
+    EXPECT_EQ(g.numNodes(), 1024u);
+    EXPECT_EQ(g.numEdges(), 1024u * 8);
+    // Every neighbour id in range.
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (NodeId u : g.neighbors(v))
+            EXPECT_LT(u, g.numNodes());
+}
+
+TEST(Generators, KroneckerIsDeterministic)
+{
+    const CsrGraph a = makeKronecker(8, 4, 99);
+    const CsrGraph b = makeKronecker(8, 4, 99);
+    EXPECT_EQ(a.offsetArray(), b.offsetArray());
+    EXPECT_EQ(a.neighborArray(), b.neighborArray());
+    const CsrGraph c = makeKronecker(8, 4, 100);
+    EXPECT_NE(a.neighborArray(), c.neighborArray());
+}
+
+TEST(Generators, KroneckerIsSkewed)
+{
+    // R-MAT with Graph500 parameters concentrates edges on low ids:
+    // the max degree should far exceed the average.
+    const CsrGraph g = makeKronecker(12, 8, 5, /*symmetrize=*/false);
+    NodeId max_deg = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    EXPECT_GT(max_deg, 20u * 8);
+}
+
+TEST(Generators, UniformIsNotSkewed)
+{
+    const CsrGraph g = makeUniform(12, 8, 5, /*symmetrize=*/false);
+    NodeId max_deg = 0;
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    // Poisson(8): max over 4096 draws stays small.
+    EXPECT_LT(max_deg, 40u);
+}
+
+TEST(Generators, WeightsInRange)
+{
+    const CsrGraph g = makeUniform(8, 4, 3, true, /*max_weight=*/16);
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        for (std::uint32_t w : g.weights(v)) {
+            EXPECT_GE(w, 1u);
+            EXPECT_LE(w, 16u);
+        }
+    }
+}
+
+TEST(Generators, GridIsRegular)
+{
+    const CsrGraph g = makeGrid(8, 4);
+    EXPECT_EQ(g.numNodes(), 32u);
+    // Torus: every vertex has out-degree 4 after symmetrization
+    // (right+down owned, left+up from reverses).
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        EXPECT_EQ(g.degree(v), 4u);
+}
+
+} // namespace
+} // namespace cachescope

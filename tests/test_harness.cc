@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the experiment harness: single runs, the two-pass Belady
+ * flow, sweeps, and speedup aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/cascade_lake.hh"
+#include "harness/experiment.hh"
+#include "trace/pc_site.hh"
+#include "trace/traced_memory.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+namespace {
+
+/**
+ * A small deterministic workload with LLC-unfriendly cyclic scans plus
+ * a hot set, designed so replacement policy quality matters.
+ */
+class MiniWorkload : public Workload
+{
+  public:
+    explicit MiniWorkload(std::string tag = "mini")
+        : displayName(std::move(tag))
+    {}
+
+    const std::string &name() const override { return displayName; }
+
+    void
+    run(InstructionSink &sink) override
+    {
+        AddressSpace space;
+        TracedArray<std::uint64_t> scan(24 * 1024, space, sink, 1);
+        TracedArray<std::uint64_t> hot(1024, space, sink, 2);
+        PcRegion region(90);
+        const Pc pc_scan = region.allocate();
+        const Pc pc_hot = region.allocate();
+        const Pc pc_alu = region.allocate();
+        InstructionMix mix(sink);
+        Rng rng(3);
+
+        std::uint64_t acc = 0;
+        for (std::uint64_t i = 0; sink.wantsMore(); ++i) {
+            acc += scan.load((i * 8) % scan.size(), pc_scan);
+            acc += hot.load(rng.nextBounded(hot.size()), pc_hot);
+            mix.alu(pc_alu, 4);
+            if ((i & 1023) == 0 && !sink.wantsMore())
+                break;
+        }
+        (void)acc;
+        sink.onEnd();
+    }
+
+  private:
+    std::string displayName;
+};
+
+SimConfig
+testConfig(const std::string &policy = "lru")
+{
+    SimConfig cfg = cascadeLakeConfig(policy, /*warmup=*/20'000,
+                                      /*measure=*/200'000);
+    // Shrink the hierarchy so MiniWorkload stresses the LLC.
+    cfg.hierarchy.l1d.sizeBytes = 4 * 1024;
+    cfg.hierarchy.l1d.numWays = 4;
+    cfg.hierarchy.l2.sizeBytes = 16 * 1024;
+    cfg.hierarchy.l2.numWays = 4;
+    cfg.hierarchy.llc.sizeBytes = 64 * 1024;
+    cfg.hierarchy.llc.numWays = 8;
+    cfg.core.simulateFetch = false;
+    return cfg;
+}
+
+TEST(Harness, RunOneProducesMeasuredWindow)
+{
+    MiniWorkload w;
+    const SimResult r = runOne(w, testConfig());
+    EXPECT_EQ(r.core.instructions, 200'000u);
+    EXPECT_GT(r.ipc(), 0.0);
+    EXPECT_GT(r.mpkiLlc(), 0.0);
+    EXPECT_EQ(r.llcPolicy, "lru");
+}
+
+TEST(Harness, BeladyBeatsEveryOnlinePolicyOnLlcMisses)
+{
+    MiniWorkload w;
+    const SimResult opt = runBelady(w, testConfig());
+    EXPECT_EQ(opt.llcPolicy, "belady");
+    for (const char *policy : {"lru", "srrip", "ship"}) {
+        MiniWorkload w2;
+        const SimResult online = runOne(w2, testConfig(policy));
+        EXPECT_LE(opt.llc.demandMisses(), online.llc.demandMisses())
+            << "OPT lost to " << policy;
+    }
+}
+
+TEST(Harness, SweepCoversGrid)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini.a"),
+        std::make_shared<MiniWorkload>("mini.b"),
+    };
+    SuiteRunner runner(testConfig(), /*jobs=*/2);
+    runner.setVerbose(false);
+    const SweepResults results =
+        runner.run(suite, {"lru", "srrip", "belady"});
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &[workload, by_policy] : results) {
+        (void)workload;
+        ASSERT_EQ(by_policy.size(), 3u);
+        EXPECT_GT(by_policy.at("lru").ipc(), 0.0);
+        EXPECT_GT(by_policy.at("belady").ipc(), 0.0);
+    }
+}
+
+TEST(Harness, SweepIsDeterministicAcrossJobCounts)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini.a"),
+        std::make_shared<MiniWorkload>("mini.b"),
+    };
+    SuiteRunner serial(testConfig(), 1);
+    SuiteRunner parallel(testConfig(), 4);
+    serial.setVerbose(false);
+    parallel.setVerbose(false);
+    const auto a = serial.run(suite, {"lru", "drrip"});
+    const auto b = parallel.run(suite, {"lru", "drrip"});
+    for (const auto &[workload, by_policy] : a) {
+        for (const auto &[policy, result] : by_policy) {
+            EXPECT_EQ(result.core.cycles,
+                      b.at(workload).at(policy).core.cycles);
+        }
+    }
+}
+
+TEST(Harness, SpeedupMath)
+{
+    SweepResults results;
+    auto mk = [](double ipc_value) {
+        SimResult r;
+        r.core.instructions = static_cast<InstCount>(ipc_value * 1000);
+        r.core.cycles = 1000;
+        return r;
+    };
+    results["w1"]["lru"] = mk(1.0);
+    results["w1"]["x"] = mk(1.1);
+    results["w2"]["lru"] = mk(2.0);
+    results["w2"]["x"] = mk(1.8);
+
+    const auto per_workload = speedupsOver(results, "x");
+    ASSERT_EQ(per_workload.size(), 2u);
+    EXPECT_NEAR(per_workload.at("w1"), 1.1, 1e-9);
+    EXPECT_NEAR(per_workload.at("w2"), 0.9, 1e-9);
+    EXPECT_NEAR(geomeanSpeedup(results, "x"), std::sqrt(1.1 * 0.9),
+                1e-9);
+    // Missing policies are skipped silently.
+    EXPECT_TRUE(speedupsOver(results, "nope").empty());
+    EXPECT_DOUBLE_EQ(geomeanSpeedup(results, "nope"), 0.0);
+}
+
+TEST(Harness, PaperPolicyListIsThePaperSix)
+{
+    const auto &policies = paperPolicies();
+    ASSERT_EQ(policies.size(), 6u);
+    EXPECT_EQ(policies[0], "srrip");
+    EXPECT_EQ(policies[3], "hawkeye");
+    for (const auto &p : policies)
+        EXPECT_TRUE(ReplacementPolicyFactory::isRegistered(p)) << p;
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for OPTgen and Hawkeye: occupancy-vector decisions,
+ * predictor training, insertion, aging and detraining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/hawkeye.hh"
+#include "replacement/optgen.hh"
+#include "test_helpers.hh"
+
+namespace cachescope {
+namespace {
+
+using test::smallGeometry;
+
+// --------------------------------------------------------------- OptGen --
+
+TEST(OptGen, FirstTouchIsMiss)
+{
+    OptGen optgen(/*capacity=*/2, /*vector_size=*/16);
+    optgen.accessFirstTouch(optgen.nextQuanta());
+    EXPECT_EQ(optgen.optHits(), 0u);
+    EXPECT_EQ(optgen.optAccesses(), 1u);
+}
+
+TEST(OptGen, ReuseWithinCapacityHits)
+{
+    OptGen optgen(2, 16);
+    const std::uint64_t t0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(t0); // A
+    const std::uint64_t t1 = optgen.nextQuanta();
+    EXPECT_TRUE(optgen.accessWithHistory(t1, t0)); // A again: OPT hit
+    EXPECT_EQ(optgen.optHits(), 1u);
+}
+
+TEST(OptGen, CapacityExhaustionMisses)
+{
+    // Capacity 1: A B A cannot keep A cached while B passes through...
+    // actually OPT evicts B (never reused), so A still hits. The miss
+    // case needs two overlapping liveness intervals: A B A B.
+    OptGen optgen(1, 16);
+    const std::uint64_t a0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(a0); // A
+    const std::uint64_t b0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(b0); // B
+    const std::uint64_t a1 = optgen.nextQuanta();
+    EXPECT_TRUE(optgen.accessWithHistory(a1, a0)); // A: hit, occupies [a0,a1)
+    const std::uint64_t b1 = optgen.nextQuanta();
+    // B's interval [b0, b1) overlaps quantum b0..a1 where occupancy is
+    // already 1 = capacity: OPT must miss one of them.
+    EXPECT_FALSE(optgen.accessWithHistory(b1, b0));
+    EXPECT_EQ(optgen.optHits(), 1u);
+    EXPECT_EQ(optgen.optAccesses(), 4u);
+}
+
+TEST(OptGen, HigherCapacityKeepsBoth)
+{
+    OptGen optgen(2, 16);
+    const std::uint64_t a0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(a0);
+    const std::uint64_t b0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(b0);
+    EXPECT_TRUE(optgen.accessWithHistory(optgen.nextQuanta(), a0));
+    EXPECT_TRUE(optgen.accessWithHistory(optgen.nextQuanta(), b0));
+    EXPECT_EQ(optgen.optHits(), 2u);
+}
+
+TEST(OptGen, IntervalBeyondWindowIsMiss)
+{
+    OptGen optgen(4, 8);
+    const std::uint64_t t0 = optgen.nextQuanta();
+    optgen.accessFirstTouch(t0);
+    for (int i = 0; i < 10; ++i)
+        optgen.accessFirstTouch(optgen.nextQuanta());
+    EXPECT_FALSE(optgen.accessWithHistory(optgen.nextQuanta(), t0));
+}
+
+TEST(OptGen, BeladyLikeOnCyclicPattern)
+{
+    // Cyclic scan of 3 blocks through capacity 2. OPTgen models OPT
+    // *with bypass* (an access need not be cached), so the optimum is
+    // to pin two blocks and let the third always miss: hit rate 2/3 —
+    // higher than install-always OPT's 1/2 on this pattern.
+    OptGen optgen(2, 64);
+    std::uint64_t last[3] = {0, 0, 0};
+    bool seen[3] = {false, false, false};
+    int hits = 0, total = 0;
+    for (int i = 0; i < 300; ++i) {
+        const int blk = i % 3;
+        const std::uint64_t q = optgen.nextQuanta();
+        if (seen[blk]) {
+            hits += optgen.accessWithHistory(q, last[blk]);
+            ++total;
+        } else {
+            optgen.accessFirstTouch(q);
+            seen[blk] = true;
+        }
+        last[blk] = q;
+    }
+    const double rate = static_cast<double>(hits) / total;
+    EXPECT_NEAR(rate, 2.0 / 3.0, 0.05);
+}
+
+// ------------------------------------------------------------ OptSampler --
+
+TEST(OptSampler, RecordsAndLooksUp)
+{
+    OptSampler sampler(4);
+    OptSampler::Entry e;
+    EXPECT_FALSE(sampler.lookup(0x100, e));
+    sampler.record(0x100, 5, 0x400000);
+    ASSERT_TRUE(sampler.lookup(0x100, e));
+    EXPECT_EQ(e.lastQuanta, 5u);
+    EXPECT_EQ(e.lastPc, 0x400000u);
+}
+
+TEST(OptSampler, BoundedEvictsOldest)
+{
+    OptSampler sampler(2);
+    sampler.record(0xA, 1, 0);
+    sampler.record(0xB, 2, 0);
+    sampler.record(0xC, 3, 0); // evicts 0xA (oldest)
+    OptSampler::Entry e;
+    EXPECT_FALSE(sampler.lookup(0xA, e));
+    EXPECT_TRUE(sampler.lookup(0xB, e));
+    EXPECT_TRUE(sampler.lookup(0xC, e));
+    EXPECT_EQ(sampler.size(), 2u);
+}
+
+TEST(OptSampler, ExpireDropsStaleEntries)
+{
+    OptSampler sampler(16);
+    sampler.record(0xA, 1, 0);
+    sampler.record(0xB, 100, 0);
+    sampler.expireBefore(50);
+    OptSampler::Entry e;
+    EXPECT_FALSE(sampler.lookup(0xA, e));
+    EXPECT_TRUE(sampler.lookup(0xB, e));
+}
+
+// -------------------------------------------------------------- Hawkeye --
+
+TEST(Hawkeye, StartsPredictingFriendly)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    EXPECT_TRUE(hawkeye.predictsFriendly(0x400000));
+}
+
+TEST(Hawkeye, FriendlyFillInsertsAtZero)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    hawkeye.update(1, 0, 0x400000, 1, AccessType::Load, false);
+    EXPECT_EQ(hawkeye.rrpvOf(1, 0), 0);
+}
+
+TEST(Hawkeye, SampledSetsAreSpreadOut)
+{
+    HawkeyePolicy hawkeye({2048, 11, 64});
+    int sampled = 0;
+    for (std::uint32_t s = 0; s < 2048; ++s)
+        sampled += hawkeye.isSampledSet(s);
+    EXPECT_EQ(sampled, 64);
+}
+
+TEST(Hawkeye, StreamingPcBecomesAverse)
+{
+    // Drive a sampled set with a long no-reuse stream from one PC:
+    // OPTgen sees only first touches... training happens on the
+    // *previous* access to the same block, so stream the same blocks
+    // in a pattern whose liveness intervals overflow capacity.
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    const std::uint32_t sampled_set = 0; // stride = 1 for 64 sets
+    ASSERT_TRUE(hawkeye.isSampledSet(sampled_set));
+    const Pc pc = 0x400010;
+
+    // Cyclic pattern over 16 blocks with capacity 4: OPT misses most,
+    // so pc trains toward averse.
+    for (int round = 0; round < 24; ++round) {
+        for (Addr blk = 0; blk < 16; ++blk) {
+            hawkeye.update(sampled_set, static_cast<std::uint32_t>(blk % 4),
+                           pc, 0x1000 + blk, AccessType::Load, false);
+        }
+    }
+    EXPECT_FALSE(hawkeye.predictsFriendly(pc));
+
+    // An averse fill goes straight to max RRPV.
+    hawkeye.update(1, 2, pc, 0x9999, AccessType::Load, false);
+    EXPECT_EQ(hawkeye.rrpvOf(1, 2), HawkeyePolicy::kMaxRrpv);
+}
+
+TEST(Hawkeye, TightReusePcStaysFriendly)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    const Pc pc = 0x400020;
+    // Two blocks ping-ponging: OPT always hits with capacity 4.
+    for (int i = 0; i < 100; ++i) {
+        hawkeye.update(0, static_cast<std::uint32_t>(i % 2), pc,
+                       0x2000 + (i % 2), AccessType::Load, i >= 2);
+    }
+    EXPECT_TRUE(hawkeye.predictsFriendly(pc));
+    EXPECT_GT(hawkeye.optgenHits(), 50u);
+}
+
+TEST(Hawkeye, VictimPrefersAverseLines)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    // Fill ways 0..2 friendly (default prediction), then hand-plant an
+    // averse line by writeback (always inserted averse, rrpv max).
+    hawkeye.update(1, 0, 0x400000, 1, AccessType::Load, false);
+    hawkeye.update(1, 1, 0x400004, 2, AccessType::Load, false);
+    hawkeye.update(1, 2, 0x400008, 3, AccessType::Load, false);
+    hawkeye.update(1, 3, 0, 4, AccessType::Writeback, false);
+    EXPECT_EQ(hawkeye.findVictim(1, 0x400100, 9, AccessType::Load), 3u);
+}
+
+TEST(Hawkeye, EvictingFriendlyLineDetrainsItsPc)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    const Pc victim_pc = 0x400030;
+    // Fill the whole (unsampled) set with friendly lines from one PC.
+    for (std::uint32_t w = 0; w < 4; ++w)
+        hawkeye.update(1, w, victim_pc, w, AccessType::Load, false);
+    // Repeatedly forcing evictions of friendly lines must eventually
+    // flip the PC to averse (counter decremented each time).
+    for (int i = 0; i < 16 && hawkeye.predictsFriendly(victim_pc); ++i) {
+        const std::uint32_t v =
+            hawkeye.findVictim(1, 0x400FF0, 100 + i, AccessType::Load);
+        hawkeye.update(1, v, victim_pc, 100 + i, AccessType::Load, false);
+    }
+    EXPECT_FALSE(hawkeye.predictsFriendly(victim_pc));
+}
+
+TEST(Hawkeye, FriendlyInsertionAgesPeers)
+{
+    HawkeyePolicy hawkeye(smallGeometry(64, 4));
+    hawkeye.update(1, 0, 0x400000, 1, AccessType::Load, false);
+    const std::uint8_t before = hawkeye.rrpvOf(1, 0);
+    hawkeye.update(1, 1, 0x400004, 2, AccessType::Load, false);
+    EXPECT_EQ(hawkeye.rrpvOf(1, 0), before + 1);
+    // Aging saturates below the averse level.
+    for (int i = 0; i < 20; ++i)
+        hawkeye.update(1, 2, 0x400008, 3 + i, AccessType::Load, false);
+    EXPECT_LE(hawkeye.rrpvOf(1, 0), HawkeyePolicy::kMaxRrpv - 1);
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Shared fixtures and fakes for the CacheScope test suite.
+ */
+
+#ifndef CACHESCOPE_TESTS_TEST_HELPERS_HH
+#define CACHESCOPE_TESTS_TEST_HELPERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cache.hh"
+#include "trace/record.hh"
+
+namespace cachescope::test {
+
+/** A MemoryLevel that records every access and replies instantly. */
+class RecordingLevel : public MemoryLevel
+{
+  public:
+    struct Access
+    {
+        Addr addr;
+        Pc pc;
+        AccessType type;
+        Cycle at;
+    };
+
+    explicit RecordingLevel(Cycle latency = 100) : latency(latency) {}
+
+    Cycle
+    access(Addr addr, Pc pc, AccessType type, Cycle now) override
+    {
+        accesses.push_back({addr, pc, type, now});
+        return now + latency;
+    }
+
+    const std::string &levelName() const override { return name; }
+
+    std::size_t
+    countOf(AccessType type) const
+    {
+        std::size_t n = 0;
+        for (const auto &a : accesses)
+            if (a.type == type)
+                ++n;
+        return n;
+    }
+
+    std::vector<Access> accesses;
+    Cycle latency;
+
+  private:
+    std::string name = "recorder";
+};
+
+/**
+ * A scripted replacement policy: returns victims from a fixed sequence
+ * (kBypassWay entries trigger bypass) and logs updates.
+ */
+class ScriptedPolicy : public ReplacementPolicy
+{
+  public:
+    struct Update
+    {
+        std::uint32_t set;
+        std::uint32_t way;
+        Pc pc;
+        Addr block;
+        AccessType type;
+        bool hit;
+    };
+
+    explicit ScriptedPolicy(const CacheGeometry &geometry)
+        : ReplacementPolicy(geometry)
+    {}
+
+    std::uint32_t
+    findVictim(std::uint32_t, Pc, Addr, AccessType) override
+    {
+        if (cursor < script.size())
+            return script[cursor++];
+        return 0;
+    }
+
+    void
+    update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block,
+           AccessType type, bool hit) override
+    {
+        updates.push_back({set, way, pc, block, type, hit});
+    }
+
+    std::vector<std::uint32_t> script;
+    std::size_t cursor = 0;
+    std::vector<Update> updates;
+};
+
+/** A sink that stores all records (for stream-equality assertions). */
+class VectorSink : public InstructionSink
+{
+  public:
+    void
+    onInstruction(const TraceRecord &rec) override
+    {
+        records.push_back(rec);
+    }
+
+    std::vector<TraceRecord> records;
+};
+
+/** A sink that accepts a bounded number of records, then refuses. */
+class BoundedSink : public InstructionSink
+{
+  public:
+    explicit BoundedSink(std::uint64_t budget) : budget(budget) {}
+
+    void
+    onInstruction(const TraceRecord &rec) override
+    {
+        if (consumed < budget) {
+            ++consumed;
+            lastRecord = rec;
+        } else {
+            ++overflow;
+        }
+    }
+
+    bool wantsMore() const override { return consumed < budget; }
+
+    std::uint64_t budget;
+    std::uint64_t consumed = 0;
+    std::uint64_t overflow = 0;
+    TraceRecord lastRecord;
+};
+
+/** FNV-1a hash of a record stream, for cheap determinism checks. */
+class HashingSink : public InstructionSink
+{
+  public:
+    void
+    onInstruction(const TraceRecord &rec) override
+    {
+        auto mix = [this](std::uint64_t v) {
+            hash ^= v;
+            hash *= 0x100000001B3ull;
+        };
+        mix(rec.pc);
+        mix(rec.addr);
+        mix(static_cast<std::uint64_t>(rec.kind));
+        mix(rec.size);
+        ++count;
+    }
+
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    std::uint64_t count = 0;
+};
+
+/** @return a small cache geometry for policy unit tests. */
+inline CacheGeometry
+smallGeometry(std::uint32_t sets = 4, std::uint32_t ways = 4)
+{
+    return CacheGeometry{sets, ways, 64};
+}
+
+/** @return a CacheConfig with the given shape and LRU replacement. */
+inline CacheConfig
+smallCacheConfig(const char *name, std::uint64_t size_bytes,
+                 std::uint32_t ways, Cycle latency = 1,
+                 const char *policy = "lru")
+{
+    CacheConfig cfg;
+    cfg.name = name;
+    cfg.sizeBytes = size_bytes;
+    cfg.numWays = ways;
+    cfg.blockBytes = 64;
+    cfg.hitLatency = latency;
+    cfg.replacement = policy;
+    return cfg;
+}
+
+} // namespace cachescope::test
+
+#endif // CACHESCOPE_TESTS_TEST_HELPERS_HH

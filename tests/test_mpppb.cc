@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for MPPPB: feature hashing, sampler-driven training,
+ * placement tiers, promotion and bypass.
+ */
+
+#include <gtest/gtest.h>
+
+#include "replacement/mpppb.hh"
+#include "test_helpers.hh"
+
+namespace cachescope {
+namespace {
+
+using test::smallGeometry;
+
+TEST(Mpppb, InitialPredictionIsZero)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    EXPECT_EQ(mpppb.predictionSum(0x400000, 0x1000), 0);
+}
+
+TEST(Mpppb, ZeroSumInsertsMidStack)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    mpppb.update(1, 0, 0x400000, 0x1000, AccessType::Load, false);
+    // An untrained sum of 0 is neither confidently live (< promote
+    // threshold) nor dead (>= distant threshold): SRRIP-like insertion.
+    EXPECT_EQ(mpppb.rrpvOf(1, 0), MpppbPolicy::kMaxRrpv - 1);
+}
+
+TEST(Mpppb, SampledSetsMatchTarget)
+{
+    MpppbPolicy mpppb({2048, 11, 64});
+    int sampled = 0;
+    for (std::uint32_t s = 0; s < 2048; ++s)
+        sampled += mpppb.isSampledSet(s);
+    EXPECT_EQ(sampled, 64);
+}
+
+TEST(Mpppb, DeadStreamTrainsTowardBypass)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    const Pc pc = 0x400040;
+    // A long never-reused stream through a sampled set: sampler evicts
+    // untouched entries, driving weights positive ("dead").
+    for (int i = 0; i < 4000; ++i) {
+        mpppb.update(0, static_cast<std::uint32_t>(i % 4), pc,
+                     0x100000 + static_cast<Addr>(i) * 64,
+                     AccessType::Load, false);
+    }
+    EXPECT_GE(mpppb.predictionSum(pc, 0x100000 + 4000 * 64),
+              MpppbPolicy::kDistantThreshold);
+}
+
+TEST(Mpppb, BypassFiresForConfidentlyDeadFills)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    const Pc pc = 0x400080;
+    for (int i = 0; i < 20000; ++i) {
+        mpppb.update(0, static_cast<std::uint32_t>(i % 4), pc,
+                     0x100000 + static_cast<Addr>(i) * 64,
+                     AccessType::Load, false);
+    }
+    const Addr next_block = 0x100000 + 20000ull * 64;
+    ASSERT_GE(mpppb.predictionSum(pc, next_block),
+              MpppbPolicy::kBypassThreshold);
+    EXPECT_EQ(mpppb.findVictim(0, pc, next_block, AccessType::Load),
+              ReplacementPolicy::kBypassWay);
+    EXPECT_GE(mpppb.bypassCount(), 1u);
+}
+
+TEST(Mpppb, WritebacksAreNeverBypassed)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    const Pc pc = 0x4000C0;
+    for (int i = 0; i < 20000; ++i) {
+        mpppb.update(0, static_cast<std::uint32_t>(i % 4), pc,
+                     0x100000 + static_cast<Addr>(i) * 64,
+                     AccessType::Load, false);
+    }
+    const std::uint32_t v =
+        mpppb.findVictim(0, pc, 0x200000, AccessType::Writeback);
+    EXPECT_NE(v, ReplacementPolicy::kBypassWay);
+    EXPECT_LT(v, 4u);
+}
+
+TEST(Mpppb, ReuseTrainsTowardCaching)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    const Pc pc = 0x400100;
+    // Small reusing set in a sampled set: sampler hits train "live".
+    for (int i = 0; i < 2000; ++i) {
+        mpppb.update(0, static_cast<std::uint32_t>(i % 4), pc,
+                     0x300000 + static_cast<Addr>(i % 8) * 64,
+                     AccessType::Load, i >= 8);
+    }
+    EXPECT_LT(mpppb.predictionSum(pc, 0x300000),
+              MpppbPolicy::kPromoteThreshold);
+    // Reusing fills insert at MRU.
+    mpppb.update(1, 0, pc, 0x300000, AccessType::Load, false);
+    EXPECT_EQ(mpppb.rrpvOf(1, 0), 0);
+}
+
+TEST(Mpppb, HitPromotionDependsOnPrediction)
+{
+    // 128 sets -> sample stride 2 -> set 1 is unsampled, so these
+    // accesses cause no training and the sum stays 0.
+    MpppbPolicy mpppb(smallGeometry(128, 4));
+    ASSERT_FALSE(mpppb.isSampledSet(1));
+    const Pc pc = 0x400140;
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        mpppb.update(1, w, pc, 0x5000 + 64 * w, AccessType::Load,
+                     false); // all insert at rrpv 0 (sum 0 -> MRU)
+    }
+    // One victim scan ages the full set up to the distant level.
+    mpppb.findVictim(1, pc, 0x6000, AccessType::Load);
+    ASSERT_EQ(mpppb.rrpvOf(1, 0), MpppbPolicy::kMaxRrpv);
+    // An untrained hit (sum 0, not < kPromoteThreshold) gets the
+    // conservative halving rather than full MRU promotion.
+    mpppb.update(1, 0, pc, 0x5000, AccessType::Load, true);
+    EXPECT_EQ(mpppb.rrpvOf(1, 0), MpppbPolicy::kMaxRrpv / 2);
+}
+
+TEST(Mpppb, FeatureSumIsDeterministic)
+{
+    MpppbPolicy a(smallGeometry(64, 4)), b(smallGeometry(64, 4));
+    for (int i = 0; i < 100; ++i) {
+        const Pc pc = 0x400000 + 4 * i;
+        const Addr block = 0x1000 * i;
+        a.update(0, static_cast<std::uint32_t>(i % 4), pc, block,
+                 AccessType::Load, i % 2 == 0);
+        b.update(0, static_cast<std::uint32_t>(i % 4), pc, block,
+                 AccessType::Load, i % 2 == 0);
+        EXPECT_EQ(a.predictionSum(pc, block), b.predictionSum(pc, block));
+    }
+}
+
+TEST(Mpppb, WritebackPlacementIsDistantButPresent)
+{
+    MpppbPolicy mpppb(smallGeometry(64, 4));
+    mpppb.update(1, 2, 0, 0x8000, AccessType::Writeback, false);
+    EXPECT_EQ(mpppb.rrpvOf(1, 2), MpppbPolicy::kMaxRrpv - 1);
+}
+
+} // namespace
+} // namespace cachescope

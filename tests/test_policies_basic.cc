@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Unit and property tests for the baseline replacement policies and
+ * the factory registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "replacement/basic.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+namespace {
+
+using test::smallGeometry;
+
+TEST(Registry, AllPaperPoliciesRegistered)
+{
+    for (const char *name : {"lru", "fifo", "random", "nru", "plru",
+                             "srrip", "brrip", "drrip", "ship", "hawkeye",
+                             "glider", "mpppb"}) {
+        EXPECT_TRUE(ReplacementPolicyFactory::isRegistered(name))
+            << "missing policy: " << name;
+    }
+    EXPECT_FALSE(ReplacementPolicyFactory::isRegistered("belady"));
+    EXPECT_FALSE(ReplacementPolicyFactory::isRegistered("nonsense"));
+}
+
+TEST(Registry, AvailableListIsSortedAndComplete)
+{
+    const auto names = ReplacementPolicyFactory::availablePolicies();
+    EXPECT_GE(names.size(), 12u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registry, CreateSetsName)
+{
+    auto policy = ReplacementPolicyFactory::create("lru", smallGeometry());
+    EXPECT_EQ(policy->name(), "lru");
+    EXPECT_EQ(policy->geometry().numSets, 4u);
+}
+
+TEST(RegistryDeathTest, UnknownPolicyIsFatal)
+{
+    EXPECT_EXIT(
+        ReplacementPolicyFactory::create("no_such_policy", smallGeometry()),
+        ::testing::ExitedWithCode(1), "unknown replacement policy");
+}
+
+TEST(RegistryDeathTest, DuplicateRegistrationIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            // "lru" is already a builtin; re-registering must die.
+            ReplacementPolicyFactory::create("lru", smallGeometry());
+            ReplacementPolicyFactory::registerPolicy(
+                "lru", [](const CacheGeometry &g) {
+                    return std::make_unique<LruPolicy>(g);
+                });
+        },
+        ::testing::ExitedWithCode(1), "registered twice");
+}
+
+// ------------------------------------------------------------------ LRU --
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(smallGeometry(1, 4));
+    for (std::uint32_t w = 0; w < 4; ++w)
+        lru.update(0, w, 0, w, AccessType::Load, false);
+    // Touch ways 0 and 1 again; victim must be way 2.
+    lru.update(0, 0, 0, 0, AccessType::Load, true);
+    lru.update(0, 1, 0, 1, AccessType::Load, true);
+    EXPECT_EQ(lru.findVictim(0, 0, 99, AccessType::Load), 2u);
+}
+
+TEST(Lru, HitPromotes)
+{
+    LruPolicy lru(smallGeometry(1, 2));
+    lru.update(0, 0, 0, 0, AccessType::Load, false);
+    lru.update(0, 1, 0, 1, AccessType::Load, false);
+    lru.update(0, 0, 0, 0, AccessType::Load, true);
+    EXPECT_EQ(lru.findVictim(0, 0, 2, AccessType::Load), 1u);
+}
+
+TEST(Lru, SetsAreIndependent)
+{
+    LruPolicy lru(smallGeometry(2, 2));
+    lru.update(0, 0, 0, 0, AccessType::Load, false);
+    lru.update(0, 1, 0, 1, AccessType::Load, false);
+    lru.update(1, 1, 0, 2, AccessType::Load, false);
+    lru.update(1, 0, 0, 3, AccessType::Load, false);
+    EXPECT_EQ(lru.findVictim(0, 0, 9, AccessType::Load), 0u);
+    EXPECT_EQ(lru.findVictim(1, 0, 9, AccessType::Load), 1u);
+}
+
+/**
+ * Property test: LruPolicy matches a reference recency-stack model over
+ * a long random access sequence.
+ */
+TEST(LruProperty, MatchesReferenceStack)
+{
+    const std::uint32_t ways = 8;
+    LruPolicy lru(smallGeometry(1, ways));
+    std::deque<std::uint32_t> stack; // front = MRU
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        lru.update(0, w, 0, w, AccessType::Load, false);
+        stack.push_front(w);
+    }
+    Rng rng(2024);
+    for (int i = 0; i < 5000; ++i) {
+        const auto way = static_cast<std::uint32_t>(rng.nextBounded(ways));
+        lru.update(0, way, 0, way, AccessType::Load, true);
+        stack.erase(std::find(stack.begin(), stack.end(), way));
+        stack.push_front(way);
+        EXPECT_EQ(lru.findVictim(0, 0, 1, AccessType::Load), stack.back());
+    }
+}
+
+// ----------------------------------------------------------------- FIFO --
+
+TEST(Fifo, EvictsOldestFill)
+{
+    FifoPolicy fifo(smallGeometry(1, 4));
+    for (std::uint32_t w = 0; w < 4; ++w)
+        fifo.update(0, w, 0, w, AccessType::Load, false);
+    // Hits do not change insertion order.
+    fifo.update(0, 0, 0, 0, AccessType::Load, true);
+    EXPECT_EQ(fifo.findVictim(0, 0, 9, AccessType::Load), 0u);
+}
+
+TEST(Fifo, RefillMovesToBack)
+{
+    FifoPolicy fifo(smallGeometry(1, 2));
+    fifo.update(0, 0, 0, 0, AccessType::Load, false);
+    fifo.update(0, 1, 0, 1, AccessType::Load, false);
+    fifo.update(0, 0, 0, 2, AccessType::Load, false); // refill way 0
+    EXPECT_EQ(fifo.findVictim(0, 0, 9, AccessType::Load), 1u);
+}
+
+// --------------------------------------------------------------- Random --
+
+TEST(RandomPolicyTest, VictimsInRangeAndCoverAllWays)
+{
+    RandomPolicy random(smallGeometry(1, 4));
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint32_t v = random.findVictim(0, 0, 0,
+                                                  AccessType::Load);
+        EXPECT_LT(v, 4u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RandomPolicyTest, DeterministicAcrossInstances)
+{
+    RandomPolicy a(smallGeometry()), b(smallGeometry());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.findVictim(0, 0, 0, AccessType::Load),
+                  b.findVictim(0, 0, 0, AccessType::Load));
+    }
+}
+
+// ------------------------------------------------------------------ NRU --
+
+TEST(Nru, EvictsFirstUnreferenced)
+{
+    NruPolicy nru(smallGeometry(1, 4));
+    nru.update(0, 0, 0, 0, AccessType::Load, false);
+    nru.update(0, 2, 0, 2, AccessType::Load, false);
+    // Ways 1 and 3 unreferenced: victim is the lowest, way 1.
+    EXPECT_EQ(nru.findVictim(0, 0, 9, AccessType::Load), 1u);
+}
+
+TEST(Nru, ClearsWhenAllReferenced)
+{
+    NruPolicy nru(smallGeometry(1, 2));
+    nru.update(0, 0, 0, 0, AccessType::Load, false);
+    nru.update(0, 1, 0, 1, AccessType::Load, false);
+    EXPECT_EQ(nru.findVictim(0, 0, 9, AccessType::Load), 0u);
+    // The sweep cleared all bits, so way 1 (still unreferenced after
+    // the clear) is next even without new touches.
+    EXPECT_EQ(nru.findVictim(0, 0, 9, AccessType::Load), 0u);
+}
+
+// ----------------------------------------------------------- Tree-PLRU --
+
+TEST(TreePlru, PowerOfTwoFollowsColdPath)
+{
+    TreePlruPolicy plru(smallGeometry(1, 4));
+    // Touch ways 0..3 in order; the PLRU walk should avoid the most
+    // recently touched subtree and land on way 0.
+    for (std::uint32_t w = 0; w < 4; ++w)
+        plru.update(0, w, 0, w, AccessType::Load, false);
+    EXPECT_EQ(plru.findVictim(0, 0, 9, AccessType::Load), 0u);
+    // Touch way 0: victim moves to the other subtree.
+    plru.update(0, 0, 0, 0, AccessType::Load, true);
+    const std::uint32_t v = plru.findVictim(0, 0, 9, AccessType::Load);
+    EXPECT_TRUE(v == 2u || v == 3u);
+}
+
+TEST(TreePlru, VictimNeverJustTouched)
+{
+    TreePlruPolicy plru(smallGeometry(1, 8));
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto way = static_cast<std::uint32_t>(rng.nextBounded(8));
+        plru.update(0, way, 0, way, AccessType::Load, true);
+        EXPECT_NE(plru.findVictim(0, 0, 9, AccessType::Load), way);
+    }
+}
+
+TEST(TreePlru, NonPowerOfTwoWaysStayInRange)
+{
+    // 11 ways: the Cascade Lake LLC case.
+    TreePlruPolicy plru(smallGeometry(2, 11));
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const auto set = static_cast<std::uint32_t>(rng.nextBounded(2));
+        const auto way = static_cast<std::uint32_t>(rng.nextBounded(11));
+        plru.update(set, way, 0, way, AccessType::Load, i % 3 != 0);
+        EXPECT_LT(plru.findVictim(set, 0, 9, AccessType::Load), 11u);
+    }
+}
+
+/** All basic policies must return victims in range on random streams. */
+class PolicyRangeTest : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(PolicyRangeTest, VictimAlwaysInRange)
+{
+    const CacheGeometry geom = smallGeometry(8, 11);
+    auto policy = ReplacementPolicyFactory::create(GetParam(), geom);
+    Rng rng(5);
+    for (int i = 0; i < 3000; ++i) {
+        const auto set = static_cast<std::uint32_t>(rng.nextBounded(8));
+        const Addr block = rng.nextBounded(1 << 20);
+        const Pc pc = 0x400000 + 4 * rng.nextBounded(64);
+        const auto type = static_cast<AccessType>(rng.nextBounded(3));
+        const std::uint32_t victim = policy->findVictim(set, pc, block,
+                                                        type);
+        if (victim != ReplacementPolicy::kBypassWay) {
+            EXPECT_LT(victim, 11u);
+        }
+        const std::uint32_t way =
+            victim == ReplacementPolicy::kBypassWay
+                ? static_cast<std::uint32_t>(rng.nextBounded(11))
+                : victim;
+        policy->update(set, way, pc, block, type, rng.nextBool(0.5));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyRangeTest,
+                         ::testing::Values("lru", "fifo", "random", "nru",
+                                           "plru", "srrip", "brrip",
+                                           "drrip", "ship", "hawkeye",
+                                           "glider", "mpppb"));
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit and integration tests for the prefetcher models and their
+ * cache-side plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cache.hh"
+#include "prefetch/prefetcher.hh"
+#include "test_helpers.hh"
+
+namespace cachescope {
+namespace {
+
+using test::RecordingLevel;
+using test::smallCacheConfig;
+
+TEST(PrefetcherFactory, NamesAndNone)
+{
+    EXPECT_EQ(makePrefetcher("none"), nullptr);
+    EXPECT_EQ(makePrefetcher(""), nullptr);
+    EXPECT_NE(makePrefetcher("next_line"), nullptr);
+    EXPECT_NE(makePrefetcher("stride"), nullptr);
+    EXPECT_NE(makePrefetcher("streamer"), nullptr);
+    EXPECT_EQ(availablePrefetchers().size(), 3u);
+}
+
+TEST(PrefetcherFactoryDeathTest, UnknownIsFatal)
+{
+    EXPECT_EXIT(makePrefetcher("warp_drive"),
+                ::testing::ExitedWithCode(1), "unknown prefetcher");
+}
+
+TEST(NextLine, EmitsNextBlocks)
+{
+    NextLinePrefetcher pf(3);
+    std::vector<Addr> out;
+    pf.onAccess(100, 0x400000, false, out);
+    EXPECT_EQ(out, (std::vector<Addr>{101, 102, 103}));
+}
+
+TEST(Stride, LearnsAfterConfidence)
+{
+    StridePrefetcher pf(64, /*degree=*/2);
+    const Pc pc = 0x400010;
+    std::vector<Addr> out;
+    // Accesses at stride 4: first establishes, second sets stride,
+    // third/fourth build confidence.
+    for (Addr a : {100, 104, 108, 112}) {
+        out.clear();
+        pf.onAccess(a, pc, false, out);
+    }
+    EXPECT_EQ(out, (std::vector<Addr>{116, 120}));
+}
+
+TEST(Stride, NoPrefetchWithoutStableStride)
+{
+    StridePrefetcher pf(64, 2);
+    const Pc pc = 0x400010;
+    std::vector<Addr> out;
+    for (Addr a : {100, 104, 109, 111, 200}) {
+        out.clear();
+        pf.onAccess(a, pc, false, out);
+    }
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, NegativeStrides)
+{
+    StridePrefetcher pf(64, 1);
+    const Pc pc = 0x400020;
+    std::vector<Addr> out;
+    for (Addr a : {1000, 992, 984, 976}) {
+        out.clear();
+        pf.onAccess(a, pc, false, out);
+    }
+    EXPECT_EQ(out, (std::vector<Addr>{968}));
+}
+
+TEST(Stride, DistinctPcsTrackedIndependently)
+{
+    StridePrefetcher pf(64, 1);
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i) {
+        out.clear();
+        pf.onAccess(100 + static_cast<Addr>(i) * 2, 0x400000, false, out);
+        pf.onAccess(5000 + static_cast<Addr>(i) * 7, 0x400004, false,
+                    out);
+    }
+    // The second PC's trained stride is 7; last emission belongs to it.
+    EXPECT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), 5000u + 5 * 7 + 7);
+}
+
+TEST(Streamer, DetectsAscendingStream)
+{
+    StreamPrefetcher pf(4, /*distance=*/2);
+    std::vector<Addr> out;
+    // Blocks within one 4 KB region (64 blocks per region).
+    for (Addr a : {10, 11, 12}) {
+        out.clear();
+        pf.onAccess(a, 0, false, out);
+    }
+    EXPECT_EQ(out, (std::vector<Addr>{13, 14}));
+}
+
+TEST(Streamer, DetectsDescendingStream)
+{
+    StreamPrefetcher pf(4, 2);
+    std::vector<Addr> out;
+    for (Addr a : {50, 49, 48}) {
+        out.clear();
+        pf.onAccess(a, 0, false, out);
+    }
+    EXPECT_EQ(out, (std::vector<Addr>{47, 46}));
+}
+
+TEST(Streamer, SingleAccessDoesNotTrain)
+{
+    StreamPrefetcher pf(4, 2);
+    std::vector<Addr> out;
+    pf.onAccess(10, 0, false, out);
+    pf.onAccess(1000, 0, false, out); // different region
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Streamer, TracksMultipleStreams)
+{
+    StreamPrefetcher pf(4, 1);
+    std::vector<Addr> out;
+    // Two interleaved ascending streams in different regions.
+    for (int i = 0; i < 4; ++i) {
+        pf.onAccess(static_cast<Addr>(i), 0, false, out);
+        pf.onAccess(1024 + static_cast<Addr>(i), 0, false, out);
+    }
+    EXPECT_GE(out.size(), 4u); // both streams trained and prefetching
+}
+
+// ------------------------------------------------------- cache plumbing --
+
+TEST(CachePrefetch, NextLineCutsSequentialMisses)
+{
+    RecordingLevel below(100);
+    CacheConfig cfg = smallCacheConfig("pf", 8 * 1024, 8);
+    cfg.prefetcher = "next_line";
+    Cache cache(cfg, &below);
+
+    for (Addr a = 0; a < 64; ++a)
+        cache.access(a * 64, 0x400000, AccessType::Load, a);
+
+    // With next-line prefetch, all but the first demand access hit.
+    EXPECT_EQ(cache.stats().missesOf(AccessType::Load), 1u);
+    EXPECT_EQ(cache.stats().prefetchesIssued, 64u);
+    EXPECT_EQ(cache.stats().prefetchesUseful, 63u);
+    // Prefetches fetched the lines from below.
+    EXPECT_EQ(below.countOf(AccessType::Prefetch), 64u);
+}
+
+TEST(CachePrefetch, NoPrefetcherNoTraffic)
+{
+    RecordingLevel below(100);
+    Cache cache(smallCacheConfig("nopf", 8 * 1024, 8), &below);
+    for (Addr a = 0; a < 16; ++a)
+        cache.access(a * 64, 0x400000, AccessType::Load, a);
+    EXPECT_EQ(cache.stats().prefetchesIssued, 0u);
+    EXPECT_EQ(below.countOf(AccessType::Prefetch), 0u);
+}
+
+TEST(CachePrefetch, WritebacksDoNotTriggerPrefetch)
+{
+    RecordingLevel below(100);
+    CacheConfig cfg = smallCacheConfig("pf", 8 * 1024, 8);
+    cfg.prefetcher = "next_line";
+    Cache cache(cfg, &below);
+    cache.access(0x4000, 0, AccessType::Writeback, 0);
+    EXPECT_EQ(cache.stats().prefetchesIssued, 0u);
+}
+
+TEST(CachePrefetch, UselessPrefetchesAreNotCountedUseful)
+{
+    RecordingLevel below(100);
+    CacheConfig cfg = smallCacheConfig("pf", 8 * 1024, 8);
+    cfg.prefetcher = "next_line";
+    Cache cache(cfg, &below);
+    // Two far-apart accesses: their next-line prefetches are never
+    // demanded.
+    cache.access(0x0000, 0x400000, AccessType::Load, 0);
+    cache.access(0x8000 * 4, 0x400000, AccessType::Load, 1);
+    EXPECT_EQ(cache.stats().prefetchesIssued, 2u);
+    EXPECT_EQ(cache.stats().prefetchesUseful, 0u);
+}
+
+TEST(CachePrefetch, PrefetchedLineCountedUsefulOnceOnly)
+{
+    RecordingLevel below(100);
+    CacheConfig cfg = smallCacheConfig("pf", 8 * 1024, 8);
+    cfg.prefetcher = "next_line";
+    Cache cache(cfg, &below);
+    cache.access(0, 0x400000, AccessType::Load, 0);   // prefetches block 1
+    cache.access(64, 0x400000, AccessType::Load, 1);  // useful (1st)
+    cache.access(64, 0x400000, AccessType::Load, 2);  // plain hit
+    EXPECT_EQ(cache.stats().prefetchesUseful, 1u);
+}
+
+} // namespace
+} // namespace cachescope

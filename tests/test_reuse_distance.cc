@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit and property tests for the reuse-distance profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/reuse_distance.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+namespace {
+
+/** Push a sequence of block ids as 64 B-aligned loads. */
+void
+pushBlocks(ReuseDistanceProfiler &prof, const std::vector<Addr> &blocks)
+{
+    for (Addr b : blocks)
+        prof.onInstruction(TraceRecord::load(0x400000, b * 64));
+}
+
+TEST(ReuseDistance, ColdAccessesCounted)
+{
+    ReuseDistanceProfiler prof;
+    pushBlocks(prof, {1, 2, 3});
+    EXPECT_EQ(prof.coldAccesses(), 3u);
+    EXPECT_EQ(prof.reuses(), 0u);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsDistanceZero)
+{
+    ReuseDistanceProfiler prof;
+    pushBlocks(prof, {7, 7, 7});
+    EXPECT_EQ(prof.reuses(), 2u);
+    EXPECT_EQ(prof.bucket(0), 2u);
+    // Distance 0 hits in any cache.
+    EXPECT_DOUBLE_EQ(prof.hitRatioAtCapacity(1), 1.0);
+}
+
+TEST(ReuseDistance, SimpleDistances)
+{
+    ReuseDistanceProfiler prof;
+    // A B C A : A's reuse distance is 2 (B and C intervened).
+    pushBlocks(prof, {1, 2, 3, 1});
+    EXPECT_EQ(prof.reuses(), 1u);
+    // Distance 2 lands in bucket [2, 4) = bucket 2.
+    EXPECT_EQ(prof.bucket(2), 1u);
+}
+
+TEST(ReuseDistance, RepeatedIntervenersCountOnce)
+{
+    ReuseDistanceProfiler prof;
+    // A B B B A : only one distinct intervener.
+    pushBlocks(prof, {1, 2, 2, 2, 1});
+    // A's distance 1 -> bucket [1, 2) = bucket 1.
+    EXPECT_EQ(prof.bucket(1), 1u);
+}
+
+TEST(ReuseDistance, SubBlockAccessesShareABlock)
+{
+    ReuseDistanceProfiler prof;
+    prof.onInstruction(TraceRecord::load(1, 0));
+    prof.onInstruction(TraceRecord::load(1, 32)); // same 64 B block
+    EXPECT_EQ(prof.reuses(), 1u);
+    EXPECT_EQ(prof.coldAccesses(), 1u);
+}
+
+TEST(ReuseDistance, NonMemoryIgnored)
+{
+    ReuseDistanceProfiler prof;
+    prof.onInstruction(TraceRecord::alu(1));
+    prof.onInstruction(TraceRecord::branch(1));
+    EXPECT_EQ(prof.coldAccesses(), 0u);
+}
+
+TEST(ReuseDistance, CyclicScanDistanceEqualsFootprint)
+{
+    ReuseDistanceProfiler prof;
+    std::vector<Addr> stream;
+    const std::uint64_t n = 100;
+    for (int round = 0; round < 4; ++round)
+        for (Addr b = 0; b < n; ++b)
+            stream.push_back(b);
+    pushBlocks(prof, stream);
+    // Every reuse has distance n - 1 = 99 -> bucket [64, 128) = 7.
+    EXPECT_EQ(prof.reuses(), 3 * n);
+    EXPECT_EQ(prof.bucket(7), 3 * n);
+    // A 128-block cache captures the scan; a 64-block cache does not.
+    EXPECT_DOUBLE_EQ(prof.hitRatioAtCapacity(128), 1.0);
+    EXPECT_DOUBLE_EQ(prof.hitRatioAtCapacity(64), 0.0);
+}
+
+/**
+ * Property: against a brute-force Mattson stack on random streams,
+ * bucketed distances must agree exactly.
+ */
+TEST(ReuseDistance, MatchesBruteForceStack)
+{
+    Rng rng(77);
+    std::vector<Addr> stream;
+    for (int i = 0; i < 3000; ++i)
+        stream.push_back(rng.nextBounded(200));
+
+    ReuseDistanceProfiler prof;
+    pushBlocks(prof, stream);
+
+    // Brute force: scan back for distinct blocks.
+    std::vector<std::uint64_t> buckets(ReuseDistanceProfiler::kNumBuckets,
+                                       0);
+    std::unordered_map<Addr, std::size_t> last;
+    std::uint64_t reuses = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        auto it = last.find(stream[i]);
+        if (it != last.end()) {
+            std::vector<Addr> seen;
+            for (std::size_t j = it->second + 1; j < i; ++j)
+                seen.push_back(stream[j]);
+            std::sort(seen.begin(), seen.end());
+            seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+            const std::uint64_t d = seen.size();
+            std::size_t b = 0;
+            if (d > 0) {
+                b = 1;
+                while ((std::uint64_t{1} << b) <= d)
+                    ++b;
+            }
+            ++buckets[b];
+            ++reuses;
+        }
+        last[stream[i]] = i;
+    }
+
+    EXPECT_EQ(prof.reuses(), reuses);
+    for (std::size_t b = 0; b < buckets.size(); ++b)
+        EXPECT_EQ(prof.bucket(b), buckets[b]) << "bucket " << b;
+}
+
+TEST(ReuseDistance, HitRatioMonotoneInCapacity)
+{
+    Rng rng(5);
+    ReuseDistanceProfiler prof;
+    std::vector<Addr> stream;
+    for (int i = 0; i < 20000; ++i)
+        stream.push_back(rng.nextZipf(4096, 0.9));
+    pushBlocks(prof, stream);
+    double prev = 0.0;
+    for (std::uint64_t c = 1; c <= 1 << 14; c *= 2) {
+        const double ratio = prof.hitRatioAtCapacity(c);
+        EXPECT_GE(ratio, prev);
+        EXPECT_LE(ratio, 1.0);
+        prev = ratio;
+    }
+    EXPECT_DOUBLE_EQ(prof.hitRatioAtCapacity(1 << 20), 1.0);
+}
+
+TEST(ReuseDistance, FenwickGrowthKeepsCorrectness)
+{
+    // Stream long enough to force several tree rebuilds.
+    ReuseDistanceProfiler prof;
+    std::vector<Addr> stream;
+    for (int round = 0; round < 40; ++round)
+        for (Addr b = 0; b < 300; ++b)
+            stream.push_back(b);
+    pushBlocks(prof, stream);
+    EXPECT_EQ(prof.reuses(), 39u * 300);
+    // All distances are 299 -> bucket [256, 512) = 9.
+    EXPECT_EQ(prof.bucket(9), 39u * 300);
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the stats module: summary math, running stats,
+ * histograms and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace cachescope {
+namespace {
+
+TEST(Summary, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Summary, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    // Geomean of reciprocal pairs is 1 — the property that makes it the
+    // right aggregation for speedup ratios.
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Summary, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+}
+
+TEST(Summary, Mpki)
+{
+    EXPECT_DOUBLE_EQ(mpki(0, 1000), 0.0);
+    EXPECT_DOUBLE_EQ(mpki(50, 1000), 50.0);
+    EXPECT_DOUBLE_EQ(mpki(5, 0), 0.0);
+    EXPECT_NEAR(mpki(532, 10000), 53.2, 1e-12);
+}
+
+TEST(Summary, Ipc)
+{
+    EXPECT_DOUBLE_EQ(ipc(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ipc(100, 50), 2.0);
+    EXPECT_DOUBLE_EQ(ipc(0, 50), 0.0);
+}
+
+TEST(RunningStat, TracksMinMaxMean)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.total(), 6.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // buckets [0,10) [10,20) [20,30) [30,40) + overflow
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(35);
+    h.add(40);   // overflow
+    h.add(1000); // overflow
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 2u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_EQ(h.percentile(0.5), 49u);
+    EXPECT_EQ(h.percentile(0.99), 98u);
+    EXPECT_EQ(h.percentile(1.0), 99u);
+    Histogram empty(1, 4);
+    EXPECT_EQ(empty.percentile(0.5), 0u);
+}
+
+TEST(Table, AsciiRendering)
+{
+    Table t({"name", "value"});
+    t.newRow();
+    t.addCell("ipc");
+    t.addNumber(1.5, 2);
+    t.newRow();
+    t.addCell("mpki");
+    t.addNumber(53.2, 1);
+
+    std::ostringstream os;
+    t.printAscii(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("53.2"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.cell(0, 0), "ipc");
+    EXPECT_EQ(t.cell(1, 1), "53.2");
+}
+
+TEST(Table, CsvRendering)
+{
+    Table t({"a", "b"});
+    t.newRow();
+    t.addCell("plain");
+    t.addCell("with,comma");
+    t.newRow();
+    t.addCell("with\"quote");
+    t.addCell("x");
+
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n");
+}
+
+TEST(TableDeathTest, RowOverflowPanics)
+{
+    Table t({"only"});
+    t.newRow();
+    t.addCell("x");
+    EXPECT_DEATH(t.addCell("y"), "row overflow");
+}
+
+TEST(TableDeathTest, CellBeforeRowPanics)
+{
+    Table t({"only"});
+    EXPECT_DEATH(t.addCell("x"), "newRow");
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: records, sinks, file round
+ * trips, PC regions, traced memory and the PC profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "test_helpers.hh"
+#include "trace/pc_site.hh"
+#include "trace/profile.hh"
+#include "trace/trace_io.hh"
+#include "trace/traced_memory.hh"
+
+namespace cachescope {
+namespace {
+
+using test::VectorSink;
+
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/cachescope_" + tag +
+           ".trace";
+}
+
+TEST(TraceRecord, Factories)
+{
+    const TraceRecord l = TraceRecord::load(0x400000, 0x1000, 4);
+    EXPECT_EQ(l.kind, InstKind::Load);
+    EXPECT_EQ(l.pc, 0x400000u);
+    EXPECT_EQ(l.addr, 0x1000u);
+    EXPECT_EQ(l.size, 4);
+    EXPECT_TRUE(l.isMemory());
+
+    const TraceRecord s = TraceRecord::store(1, 2);
+    EXPECT_EQ(s.kind, InstKind::Store);
+    EXPECT_TRUE(s.isMemory());
+
+    const TraceRecord a = TraceRecord::alu(9);
+    EXPECT_FALSE(a.isMemory());
+    EXPECT_EQ(a.addr, kInvalidAddr);
+
+    const TraceRecord b = TraceRecord::branch(9);
+    EXPECT_EQ(b.kind, InstKind::Branch);
+    EXPECT_FALSE(b.isMemory());
+}
+
+TEST(CountingSink, CountsByKind)
+{
+    CountingSink sink;
+    sink.onInstruction(TraceRecord::alu(1));
+    sink.onInstruction(TraceRecord::alu(1));
+    sink.onInstruction(TraceRecord::load(1, 8));
+    sink.onInstruction(TraceRecord::store(1, 8));
+    sink.onInstruction(TraceRecord::branch(1));
+    EXPECT_EQ(sink.total, 5u);
+    EXPECT_EQ(sink.alu, 2u);
+    EXPECT_EQ(sink.loads, 1u);
+    EXPECT_EQ(sink.stores, 1u);
+    EXPECT_EQ(sink.branches, 1u);
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const std::string path = tempTracePath("roundtrip");
+    std::vector<TraceRecord> originals = {
+        TraceRecord::load(0x400010, 0xDEAD00, 8),
+        TraceRecord::store(0x400014, 0xBEEF40, 4),
+        TraceRecord::alu(0x400018),
+        TraceRecord::branch(0x40001C),
+    };
+    {
+        TraceWriter writer(path);
+        for (const auto &rec : originals)
+            writer.onInstruction(rec);
+        writer.onEnd();
+        EXPECT_EQ(writer.recordsWritten(), originals.size());
+    }
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.numRecords(), originals.size());
+    VectorSink sink;
+    const std::uint64_t replayed = reader.replayInto(sink);
+    EXPECT_EQ(replayed, originals.size());
+    ASSERT_EQ(sink.records.size(), originals.size());
+    for (std::size_t i = 0; i < originals.size(); ++i)
+        EXPECT_EQ(sink.records[i], originals[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterFinalizesOnDestruction)
+{
+    const std::string path = tempTracePath("dtor");
+    {
+        TraceWriter writer(path);
+        writer.onInstruction(TraceRecord::alu(1));
+        // no explicit onEnd(): destructor must back-patch the header
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.numRecords(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, RejectsGarbageFile)
+{
+    const std::string path = tempTracePath("garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader reader(path), ::testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(TraceReader reader("/nonexistent/path/x.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(PcRegion, DisjointPerWorkload)
+{
+    PcRegion r0(0), r1(1);
+    EXPECT_NE(r0.regionBase(), r1.regionBase());
+    EXPECT_GE(r1.regionBase(), r0.regionBase() + PcRegion::kRegionBytes);
+}
+
+TEST(PcRegion, AllocationIsStableAndSpaced)
+{
+    PcRegion r(3);
+    const Pc first = r.allocate();
+    const Pc second = r.allocate();
+    EXPECT_EQ(second, first + 4);
+    EXPECT_EQ(r.pc(0), first);
+    EXPECT_EQ(r.pc(1), second);
+}
+
+TEST(AddressSpace, PageAlignedDisjointRegions)
+{
+    AddressSpace space;
+    const Addr a = space.allocate(100);
+    const Addr b = space.allocate(5000);
+    const Addr c = space.allocate(1);
+    EXPECT_EQ(a % AddressSpace::kPageBytes, 0u);
+    EXPECT_EQ(b % AddressSpace::kPageBytes, 0u);
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(c, b + 5000);
+    EXPECT_GT(space.bytesAllocated(), 0u);
+}
+
+TEST(TracedArray, EmitsLoadAndStoreRecords)
+{
+    AddressSpace space;
+    VectorSink sink;
+    TracedArray<std::uint32_t> arr(16, space, sink, 7);
+
+    EXPECT_EQ(arr.load(3, /*pc=*/0x400000), 7u);
+    arr.store(3, 42, /*pc=*/0x400004);
+    EXPECT_EQ(arr.load(3, 0x400000), 42u);
+
+    ASSERT_EQ(sink.records.size(), 3u);
+    EXPECT_EQ(sink.records[0].kind, InstKind::Load);
+    EXPECT_EQ(sink.records[0].addr, arr.addressOf(3));
+    EXPECT_EQ(sink.records[0].size, sizeof(std::uint32_t));
+    EXPECT_EQ(sink.records[1].kind, InstKind::Store);
+    EXPECT_EQ(sink.records[1].pc, 0x400004u);
+}
+
+TEST(TracedArray, RawAccessEmitsNothing)
+{
+    AddressSpace space;
+    VectorSink sink;
+    TracedArray<int> arr(4, space, sink, 0);
+    arr.raw(2) = 5;
+    EXPECT_EQ(arr.raw(2), 5);
+    EXPECT_TRUE(sink.records.empty());
+}
+
+TEST(TracedArray, AddressesAreContiguous)
+{
+    AddressSpace space;
+    VectorSink sink;
+    TracedArray<std::uint64_t> arr(8, space, sink);
+    for (std::size_t i = 0; i + 1 < arr.size(); ++i)
+        EXPECT_EQ(arr.addressOf(i + 1), arr.addressOf(i) + 8);
+}
+
+TEST(InstructionMix, EmitsRequestedCounts)
+{
+    CountingSink sink;
+    InstructionMix mix(sink);
+    mix.alu(0x400000, 5);
+    mix.branch(0x400004);
+    EXPECT_EQ(sink.alu, 5u);
+    EXPECT_EQ(sink.branches, 1u);
+}
+
+// ----------------------------------------------------------- profiler --
+
+TEST(PcProfiler, IgnoresNonMemory)
+{
+    PcProfiler prof;
+    prof.onInstruction(TraceRecord::alu(1));
+    prof.onInstruction(TraceRecord::branch(2));
+    const auto s = prof.summarize();
+    EXPECT_EQ(s.memoryAccesses, 0u);
+    EXPECT_EQ(s.distinctMemoryPcs, 0u);
+}
+
+TEST(PcProfiler, CountsFanout)
+{
+    PcProfiler prof(/*block_bits=*/6);
+    // PC 100 touches 3 distinct blocks (addresses 0, 64, 128), twice
+    // each; PC 200 touches one block 4 times.
+    for (int rep = 0; rep < 2; ++rep)
+        for (Addr a : {0, 64, 128})
+            prof.onInstruction(TraceRecord::load(100, a));
+    for (int rep = 0; rep < 4; ++rep)
+        prof.onInstruction(TraceRecord::load(200, 0x10000));
+
+    const auto rows = prof.fanouts();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].pc, 100u); // more accesses first
+    EXPECT_EQ(rows[0].accesses, 6u);
+    EXPECT_EQ(rows[0].distinctBlocks, 3u);
+    EXPECT_EQ(rows[1].distinctBlocks, 1u);
+
+    const auto s = prof.summarize();
+    EXPECT_EQ(s.memoryAccesses, 10u);
+    EXPECT_EQ(s.distinctMemoryPcs, 2u);
+    EXPECT_DOUBLE_EQ(s.meanBlocksPerPc, 2.0);
+    EXPECT_EQ(s.maxBlocksPerPc, 3u);
+}
+
+TEST(PcProfiler, SameBlockDifferentOffsetsCountsOnce)
+{
+    PcProfiler prof(6);
+    prof.onInstruction(TraceRecord::load(1, 0));
+    prof.onInstruction(TraceRecord::load(1, 63));
+    const auto rows = prof.fanouts();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].distinctBlocks, 1u);
+}
+
+TEST(PcProfiler, EntropyZeroForSinglePc)
+{
+    PcProfiler prof;
+    for (int i = 0; i < 8; ++i)
+        prof.onInstruction(TraceRecord::load(1, i * 64));
+    EXPECT_DOUBLE_EQ(prof.summarize().pcEntropyBits, 0.0);
+}
+
+TEST(PcProfiler, EntropyMaxForUniformPcs)
+{
+    PcProfiler prof;
+    for (Pc pc = 0; pc < 8; ++pc)
+        for (int i = 0; i < 10; ++i)
+            prof.onInstruction(TraceRecord::load(pc * 4 + 0x400000, 0));
+    EXPECT_NEAR(prof.summarize().pcEntropyBits, 3.0, 1e-9);
+}
+
+TEST(PcProfiler, PcsFor90Pct)
+{
+    PcProfiler prof;
+    // One PC does 90 of 100 accesses; covering 90 % needs only it.
+    for (int i = 0; i < 90; ++i)
+        prof.onInstruction(TraceRecord::load(1, i * 64));
+    for (int i = 0; i < 10; ++i)
+        prof.onInstruction(TraceRecord::load(2, i * 64));
+    EXPECT_EQ(prof.summarize().pcsFor90PctAccesses, 1u);
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the util substrate: integer math, saturating
+ * counters, and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/intmath.hh"
+#include "util/rng.hh"
+#include "util/sat_counter.hh"
+
+namespace cachescope {
+namespace {
+
+// ------------------------------------------------------------- intmath --
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(65));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOf2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(11), 4u);  // the LLC's associativity
+    EXPECT_EQ(ceilLog2(1024), 10u);
+}
+
+TEST(IntMath, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundUp(65, 64), 128u);
+}
+
+TEST(IntMath, Bits)
+{
+    EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFu);
+    EXPECT_EQ(bits(0xABCD, 7, 4), 0xCu);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 63, 0), ~std::uint64_t{0});
+    EXPECT_EQ(bits(0b1010, 3, 1), 0b101u);
+}
+
+TEST(IntMath, FoldXor)
+{
+    // Folding a value narrower than the width is the identity.
+    EXPECT_EQ(foldXor(0x3F, 8), 0x3Fu);
+    // Two equal chunks cancel; a lone high chunk survives.
+    EXPECT_EQ(foldXor(0xAB00AB, 8), 0u);
+    EXPECT_EQ(foldXor(0xAB00, 8), 0xABu);
+    // Result always fits in the width.
+    for (std::uint64_t v : {std::uint64_t{0x123456789ABCDEF},
+                            ~std::uint64_t{0}}) {
+        EXPECT_LT(foldXor(v, 13), std::uint64_t{1} << 13);
+        EXPECT_LT(foldXor(v, 4), std::uint64_t{1} << 4);
+    }
+    EXPECT_EQ(foldXor(0, 8), 0u);
+}
+
+// ---------------------------------------------------------- SatCounter --
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.max(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.get(), 3u);
+    EXPECT_TRUE(c.isMax());
+    EXPECT_TRUE(c.isHigh());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(3, 7);
+    for (int i = 0; i < 20; ++i)
+        c.decrement();
+    EXPECT_EQ(c.get(), 0u);
+    EXPECT_TRUE(c.isMin());
+    EXPECT_FALSE(c.isHigh());
+}
+
+TEST(SatCounter, InitialValueClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.get(), 3u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(4);
+    c.set(200);
+    EXPECT_EQ(c.get(), 15u);
+    c.set(5);
+    EXPECT_EQ(c.get(), 5u);
+}
+
+TEST(SatCounter, HighBoundary)
+{
+    SatCounter c(3, 4); // max 7, midpoint 3
+    EXPECT_TRUE(c.isHigh());
+    c.set(3);
+    EXPECT_FALSE(c.isHigh());
+}
+
+TEST(SignedSatWeight, Clamps)
+{
+    SignedSatWeight w(31);
+    for (int i = 0; i < 100; ++i)
+        w.increment();
+    EXPECT_EQ(w.get(), 31);
+    EXPECT_TRUE(w.isSaturated());
+    for (int i = 0; i < 200; ++i)
+        w.decrement();
+    EXPECT_EQ(w.get(), -31);
+    EXPECT_TRUE(w.isSaturated());
+}
+
+TEST(SignedSatWeight, AddDelta)
+{
+    SignedSatWeight w(10, 5);
+    w.add(3);
+    EXPECT_EQ(w.get(), 8);
+    w.add(100);
+    EXPECT_EQ(w.get(), 10);
+    w.add(-25);
+    EXPECT_EQ(w.get(), -10);
+}
+
+// ----------------------------------------------------------------- Rng --
+
+TEST(Rng, Deterministic)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 11ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(99);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfUniformWhenUnskewed)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.nextZipf(10, 0.0)];
+    for (const auto &[value, count] : counts) {
+        EXPECT_LT(value, 10u);
+        EXPECT_GT(count, 700);
+        EXPECT_LT(count, 1300);
+    }
+}
+
+TEST(Rng, ZipfSkewFavorsSmallIndices)
+{
+    Rng rng(13);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i)
+        low += rng.nextZipf(1000, 1.0) < 10;
+    // With s=1, the first 10 of 1000 values should carry far more than
+    // their uniform 1% share.
+    EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.2);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng rng(17);
+    for (double s : {0.0, 0.5, 0.99, 1.0, 1.2}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(rng.nextZipf(37, s), 37u);
+    }
+    EXPECT_EQ(rng.nextZipf(1, 1.0), 0u);
+    EXPECT_EQ(rng.nextZipf(0, 1.0), 0u);
+}
+
+} // namespace
+} // namespace cachescope

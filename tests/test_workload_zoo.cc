@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the name-based workload zoo used by the CLI and examples.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/workload_zoo.hh"
+#include "test_helpers.hh"
+
+namespace cachescope {
+namespace {
+
+TEST(WorkloadZoo, BuildsEveryListedWorkload)
+{
+    ZooOptions options;
+    options.scale = 10; // keep graph construction cheap
+    options.synthMainBytes = 256 * 1024;
+    for (const auto &name : zooWorkloadNames()) {
+        auto workload = makeNamedWorkload(name, options);
+        ASSERT_NE(workload, nullptr) << name;
+        test::BoundedSink sink(20000);
+        workload->run(sink);
+        EXPECT_EQ(sink.consumed, 20000u) << name;
+    }
+}
+
+TEST(WorkloadZoo, GraphOptionsAreHonoured)
+{
+    ZooOptions options;
+    options.scale = 9;
+    auto kron = makeNamedWorkload("bfs", options);
+    EXPECT_EQ(kron->name(), "bfs.kron9");
+    options.uniformGraph = true;
+    auto urand = makeNamedWorkload("bfs", options);
+    EXPECT_EQ(urand->name(), "bfs.urand9");
+}
+
+TEST(WorkloadZoo, SuitesByName)
+{
+    ZooOptions options;
+    options.scale = 8;
+    EXPECT_EQ(makeNamedSuite("gap", options).size(), 12u);
+    EXPECT_EQ(makeNamedSuite("spec06").size(), 14u);
+    EXPECT_EQ(makeNamedSuite("spec17").size(), 14u);
+}
+
+TEST(WorkloadZooDeathTest, UnknownNamesAreFatal)
+{
+    EXPECT_EXIT(makeNamedWorkload("quicksort"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_EXIT(makeNamedSuite("spec2038"),
+                ::testing::ExitedWithCode(1), "unknown suite");
+}
+
+TEST(WorkloadZoo, NameListIsComplete)
+{
+    const auto names = zooWorkloadNames();
+    EXPECT_EQ(names.size(), 17u); // 6 GAP kernels + bfs_do + 10 synthetic
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the synthetic SPEC-like workloads: stream shape per
+ * pattern, determinism, budget handling, and suite assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "test_helpers.hh"
+#include "trace/pc_site.hh"
+#include "trace/profile.hh"
+#include "trace/traced_memory.hh"
+#include "workloads/synthetic.hh"
+
+namespace cachescope {
+namespace {
+
+using test::BoundedSink;
+using test::HashingSink;
+using test::VectorSink;
+
+const std::vector<SynthPattern> &
+allPatterns()
+{
+    static const std::vector<SynthPattern> patterns = {
+        SynthPattern::StreamTriad, SynthPattern::ScanThrash,
+        SynthPattern::HotCold, SynthPattern::PointerChase,
+        SynthPattern::Stencil2D, SynthPattern::MixedPhase,
+        SynthPattern::DeadFill, SynthPattern::GatherZipf,
+        SynthPattern::TreeSearch, SynthPattern::SmallWs};
+    return patterns;
+}
+
+SynthParams
+tinyParams()
+{
+    SynthParams p;
+    p.mainBytes = 256 * 1024;
+    p.hotBytes = 32 * 1024;
+    p.phaseOps = 4096;
+    return p;
+}
+
+class SynthPatternTest : public ::testing::TestWithParam<SynthPattern>
+{};
+
+TEST_P(SynthPatternTest, RunsToBudgetAndStops)
+{
+    SyntheticWorkload w("t", GetParam(), tinyParams());
+    BoundedSink sink(200000);
+    w.run(sink);
+    EXPECT_EQ(sink.consumed, 200000u);
+    EXPECT_LT(sink.overflow, 100000u);
+}
+
+TEST_P(SynthPatternTest, StreamIsDeterministic)
+{
+    SyntheticWorkload w1("t", GetParam(), tinyParams());
+    SyntheticWorkload w2("t", GetParam(), tinyParams());
+    // Use bounded+hash: run the same budget twice.
+    struct BoundedHash : HashingSink
+    {
+        bool wantsMore() const override { return count < 100000; }
+    } a, b;
+    w1.run(a);
+    w2.run(b);
+    EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST_P(SynthPatternTest, EmitsAllInstructionKinds)
+{
+    SyntheticWorkload w("t", GetParam(), tinyParams());
+    struct BoundedCount : CountingSink
+    {
+        bool wantsMore() const override { return total < 100000; }
+    } sink;
+    w.run(sink);
+    EXPECT_GT(sink.loads + sink.stores, 0u);
+    EXPECT_GT(sink.alu, 0u);
+    EXPECT_GT(sink.branches, 0u);
+}
+
+TEST_P(SynthPatternTest, ManyPcsModestFanout)
+{
+    // The contrast to the graph kernels: synthetic SPEC-like kernels
+    // must expose learnable per-PC behaviour. We check the milder
+    // property that they have at least a handful of PCs (TreeSearch
+    // has dozens) and that accesses stay inside allocated regions.
+    SyntheticWorkload w("t", GetParam(), tinyParams());
+    struct BoundedProf : PcProfiler
+    {
+        bool wantsMore() const override { return done < 200000; }
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            PcProfiler::onInstruction(rec);
+            ++done;
+        }
+        std::uint64_t done = 0;
+    } profiler;
+    w.run(profiler);
+    const auto s = profiler.summarize();
+    EXPECT_GE(s.distinctMemoryPcs, 1u);
+    EXPECT_GT(s.memoryAccesses, 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, SynthPatternTest, ::testing::ValuesIn(allPatterns()),
+    [](const ::testing::TestParamInfo<SynthPattern> &info) {
+        return synthPatternName(info.param);
+    });
+
+TEST(SynthPatterns, PointerChaseIsFullCycle)
+{
+    // The chase must not collapse into a short loop: within a budget
+    // smaller than the element count, no address repeats.
+    SynthParams p = tinyParams();
+    p.mainBytes = 64 * 1024; // 8192 elements
+    SyntheticWorkload w("t", SynthPattern::PointerChase, p);
+    struct ChaseSink : InstructionSink
+    {
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            if (rec.kind == InstKind::Load)
+                addrs.push_back(rec.addr);
+        }
+        bool wantsMore() const override { return addrs.size() < 4000; }
+        std::vector<Addr> addrs;
+    } sink;
+    w.run(sink);
+    std::unordered_set<Addr> unique(sink.addrs.begin(), sink.addrs.end());
+    EXPECT_EQ(unique.size(), sink.addrs.size());
+}
+
+TEST(SynthPatterns, HotColdRatioRoughlyHonoured)
+{
+    SynthParams p = tinyParams();
+    p.hotFraction = 0.8;
+    SyntheticWorkload w("t", SynthPattern::HotCold, p);
+    struct Split : InstructionSink
+    {
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            if (rec.kind != InstKind::Load)
+                return;
+            ++total;
+            // The hot array is allocated first, at the heap base.
+            if (rec.addr < AddressSpace::kHeapBase + 32 * 1024 + 4096)
+                ++hot;
+        }
+        bool wantsMore() const override { return total < 50000; }
+        std::uint64_t total = 0, hot = 0;
+    } sink;
+    w.run(sink);
+    EXPECT_NEAR(static_cast<double>(sink.hot) /
+                static_cast<double>(sink.total), 0.8, 0.05);
+}
+
+TEST(SynthPatterns, ScanThrashTouchesEveryBlockCyclically)
+{
+    SynthParams p = tinyParams();
+    p.mainBytes = 64 * 1024;
+    SyntheticWorkload w("t", SynthPattern::ScanThrash, p);
+    VectorSink all;
+    struct Bounded : InstructionSink
+    {
+        explicit Bounded(VectorSink &v) : v(v) {}
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            v.records.push_back(rec);
+        }
+        bool wantsMore() const override { return v.records.size() < 50000; }
+        VectorSink &v;
+    } sink(all);
+    w.run(sink);
+    std::set<Addr> blocks;
+    for (const auto &rec : all.records)
+        if (rec.kind == InstKind::Load)
+            blocks.insert(rec.addr >> 6);
+    EXPECT_EQ(blocks.size(), 64u * 1024 / 64);
+}
+
+TEST(SynthPatterns, DeadFillStoresAreNeverReloaded)
+{
+    SyntheticWorkload w("t", SynthPattern::DeadFill, tinyParams());
+    struct Watch : InstructionSink
+    {
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            ++n;
+            if (rec.kind == InstKind::Store)
+                stored.insert(rec.addr >> 6);
+            if (rec.kind == InstKind::Load) {
+                EXPECT_EQ(stored.count(rec.addr >> 6), 0u);
+            }
+        }
+        bool wantsMore() const override { return n < 100000; }
+        std::uint64_t n = 0;
+        std::unordered_set<Addr> stored;
+    } sink;
+    w.run(sink);
+}
+
+TEST(SynthPatterns, TreeSearchUsesLevelPcs)
+{
+    SyntheticWorkload w("t", SynthPattern::TreeSearch, tinyParams());
+    struct BoundedProf : PcProfiler
+    {
+        bool wantsMore() const override { return done < 100000; }
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            PcProfiler::onInstruction(rec);
+            ++done;
+        }
+        std::uint64_t done = 0;
+    } prof;
+    w.run(prof);
+    // One PC per level: with 16K nodes the tree has 14 levels.
+    EXPECT_GE(prof.summarize().distinctMemoryPcs, 10u);
+}
+
+TEST(Suites, Spec06HasFourteenUniqueNames)
+{
+    const auto suite = makeSpec06Suite();
+    ASSERT_EQ(suite.size(), 14u);
+    std::set<std::string> names;
+    for (const auto &w : suite) {
+        EXPECT_EQ(w->name().rfind("spec06.", 0), 0u) << w->name();
+        names.insert(w->name());
+    }
+    EXPECT_EQ(names.size(), 14u);
+}
+
+TEST(Suites, Spec17HasFourteenUniqueNames)
+{
+    const auto suite = makeSpec17Suite();
+    ASSERT_EQ(suite.size(), 14u);
+    std::set<std::string> names;
+    for (const auto &w : suite)
+        names.insert(w->name());
+    EXPECT_EQ(names.size(), 14u);
+    EXPECT_TRUE(names.count("spec17.scan_thrash"));
+}
+
+TEST(Suites, PcRegionsDoNotOverlapAcrossSuites)
+{
+    // spec06 ids start at 100, spec17 at 200; GAP suites at 0. A
+    // paranoid check that the factory defaults keep them disjoint.
+    const auto s06 = makeSpec06Suite();
+    const auto s17 = makeSpec17Suite();
+    auto region_of = [](Workload &w) {
+        struct One : InstructionSink
+        {
+            void
+            onInstruction(const TraceRecord &rec) override
+            {
+                if (pc == 0)
+                    pc = rec.pc;
+            }
+            bool wantsMore() const override { return pc == 0; }
+            Pc pc = 0;
+        } sink;
+        w.run(sink);
+        return sink.pc / PcRegion::kRegionBytes;
+    };
+    std::set<Pc> regions;
+    for (const auto &w : s06)
+        regions.insert(region_of(*w));
+    for (const auto &w : s17)
+        regions.insert(region_of(*w));
+    EXPECT_EQ(regions.size(), s06.size() + s17.size());
+}
+
+} // namespace
+} // namespace cachescope

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The cachescope command-line driver — the front door for downstream
+ * users who want simulations without writing C++.
+ *
+ * Subcommands:
+ *   policies                     list replacement policies/prefetchers
+ *   run      --workload W ...    simulate one workload, print stats
+ *   sweep    --suite S ...       workload x policy grid + speedups
+ *   capture  --workload W --out F  record a binary trace
+ *   replay   --trace F ...       simulate from a trace file
+ *
+ * Run `cachescope <subcommand> --help` (or no arguments) for the
+ * option list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cascade_lake.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "harness/workload_zoo.hh"
+#include "stats/table.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+using namespace cachescope;
+
+namespace {
+
+/** Tiny flag parser: --key value pairs plus boolean --key. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                fatal("unexpected argument '%s'", key.c_str());
+            key = key.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values[key] = argv[++i];
+            } else {
+                values[key] = "1";
+            }
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    std::uint64_t
+    getU64(const std::string &key, std::uint64_t fallback) const
+    {
+        auto it = values.find(key);
+        return it == values.end()
+            ? fallback
+            : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    bool has(const std::string &key) const { return values.count(key); }
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+ZooOptions
+zooOptionsFrom(const Args &args)
+{
+    ZooOptions options;
+    options.scale = static_cast<unsigned>(args.getU64("scale", 19));
+    options.avgDegree = static_cast<unsigned>(args.getU64("degree", 8));
+    options.seed = args.getU64("seed", 42);
+    options.uniformGraph = args.has("uniform");
+    options.synthMainBytes = args.getU64("synth-mb", 8) << 20;
+    return options;
+}
+
+SimConfig
+configFrom(const Args &args, const std::string &policy)
+{
+    SimConfig cfg = cascadeLakeConfig(
+        policy, args.getU64("warmup", 500'000),
+        args.getU64("measure", 5'000'000));
+    if (args.has("llc-kb")) {
+        cfg.hierarchy.llc.sizeBytes = args.getU64("llc-kb", 1408) * 1024;
+    }
+    cfg.hierarchy.l2.prefetcher = args.get("prefetcher", "none");
+    return cfg;
+}
+
+int
+cmdPolicies()
+{
+    std::printf("replacement policies:");
+    for (const auto &name : ReplacementPolicyFactory::availablePolicies())
+        std::printf(" %s", name.c_str());
+    std::printf(" belady(offline)\nprefetchers: none");
+    for (const auto &name : availablePrefetchers())
+        std::printf(" %s", name.c_str());
+    std::printf("\nworkloads:");
+    for (const auto &name : zooWorkloadNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\nsuites: gap spec06 spec17\n");
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const std::string policy = args.get("policy", "lru");
+    auto workload =
+        makeNamedWorkload(args.get("workload", "bfs"), zooOptionsFrom(args));
+    std::fprintf(stderr, "running %s under %s...\n",
+                 workload->name().c_str(), policy.c_str());
+    const SimResult r = policy == "belady"
+        ? runBelady(*workload, configFrom(args, "lru"))
+        : runOne(*workload, configFrom(args, policy));
+    printSimResult(r, std::cout);
+    if (!r.llcPolicyState.empty()) {
+        std::printf("llc policy state: %s\n",
+                    r.llcPolicyState.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    auto suite = makeNamedSuite(args.get("suite", "gap"),
+                                zooOptionsFrom(args));
+
+    std::vector<std::string> policies = {"lru"};
+    {
+        const std::string list =
+            args.get("policies", "srrip,drrip,ship,hawkeye,glider,mpppb");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string name = list.substr(
+                pos, comma == std::string::npos ? comma : comma - pos);
+            if (!name.empty() && name != "lru")
+                policies.push_back(name);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    SuiteRunner runner(configFrom(args, "lru"),
+                       static_cast<unsigned>(args.getU64("jobs", 0)));
+    const SweepResults results = runner.run(suite, policies);
+
+    std::vector<std::string> columns = {"workload", "lru_ipc"};
+    for (std::size_t i = 1; i < policies.size(); ++i)
+        columns.push_back(policies[i]);
+    Table table(columns);
+    for (const auto &[workload, by_policy] : results) {
+        table.newRow();
+        table.addCell(workload);
+        table.addNumber(by_policy.at("lru").ipc(), 3);
+        for (std::size_t i = 1; i < policies.size(); ++i) {
+            table.addNumber(by_policy.at(policies[i]).ipc() /
+                            by_policy.at("lru").ipc(), 4);
+        }
+    }
+    table.newRow();
+    table.addCell("geomean");
+    table.addCell("-");
+    for (std::size_t i = 1; i < policies.size(); ++i)
+        table.addNumber(geomeanSpeedup(results, policies[i]), 4);
+    table.printAscii(std::cout);
+    return 0;
+}
+
+int
+cmdCapture(const Args &args)
+{
+    const std::string path = args.get("out", "cachescope.trace");
+    const std::uint64_t records = args.getU64("records", 10'000'000);
+    auto workload =
+        makeNamedWorkload(args.get("workload", "bfs"), zooOptionsFrom(args));
+
+    TraceWriter writer(path);
+    struct Bounded : InstructionSink
+    {
+        Bounded(TraceWriter &writer, std::uint64_t budget)
+            : out(writer), budget(budget)
+        {}
+        void
+        onInstruction(const TraceRecord &rec) override
+        {
+            out.onInstruction(rec);
+        }
+        bool
+        wantsMore() const override
+        {
+            return out.recordsWritten() < budget;
+        }
+        TraceWriter &out;
+        std::uint64_t budget;
+    } sink(writer, records);
+    workload->run(sink);
+    writer.onEnd();
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(writer.recordsWritten()),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    const std::string path = args.get("trace", "cachescope.trace");
+    Simulator sim(configFrom(args, args.get("policy", "lru")));
+    TraceReader reader(path);
+    const std::uint64_t replayed = reader.replayInto(sim);
+    std::fprintf(stderr, "replayed %llu records\n",
+                 static_cast<unsigned long long>(replayed));
+    printSimResult(sim.result(), std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: cachescope <subcommand> [--flag value ...]\n"
+        "\n"
+        "subcommands:\n"
+        "  policies                         list policies/workloads\n"
+        "  run     --workload W --policy P  simulate one workload\n"
+        "  sweep   --suite S --policies a,b workload x policy grid\n"
+        "  capture --workload W --out FILE  record a binary trace\n"
+        "  replay  --trace FILE --policy P  simulate from a trace\n"
+        "\n"
+        "common flags: --scale N --degree N --seed N --uniform\n"
+        "              --warmup N --measure N --llc-kb N\n"
+        "              --prefetcher none|next_line|stride|streamer\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "policies")
+        return cmdPolicies();
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    if (cmd == "capture")
+        return cmdCapture(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    usage();
+    return cmd == "--help" || cmd == "help" ? 0 : 1;
+}
