@@ -101,7 +101,10 @@ main(int argc, char **argv)
 
     Simulator replayed(cfg);
     TraceReader reader(path);
-    reader.replayInto(replayed);
+    if (Status s = reader.replayInto(replayed); !s.ok()) {
+        std::fprintf(stderr, "replay failed: %s\n", s.message().c_str());
+        return 1;
+    }
 
     const SimResult a = live.result();
     const SimResult b = replayed.result();

@@ -11,6 +11,42 @@
 
 namespace cachescope {
 
+Status
+CacheConfig::validate() const
+{
+    if (blockBytes == 0 || !isPowerOf2(blockBytes)) {
+        return invalidArgumentError(
+            "cache '%s': block size must be a power of two", name.c_str());
+    }
+    if (numWays == 0) {
+        return invalidArgumentError(
+            "cache '%s': associativity must be non-zero", name.c_str());
+    }
+    const std::uint64_t blocks = sizeBytes / blockBytes;
+    if (blocks == 0 || blocks % numWays != 0) {
+        return invalidArgumentError(
+            "cache '%s': size %llu not divisible into %u ways",
+            name.c_str(), static_cast<unsigned long long>(sizeBytes),
+            numWays);
+    }
+    const std::uint64_t sets = blocks / numWays;
+    if (!isPowerOf2(sets)) {
+        return invalidArgumentError(
+            "cache '%s': derived set count %llu is not a power of two",
+            name.c_str(), static_cast<unsigned long long>(sets));
+    }
+    if (!ReplacementPolicyFactory::isRegistered(replacement)) {
+        return notFoundError(
+            "cache '%s': unknown replacement policy '%s'", name.c_str(),
+            replacement.c_str());
+    }
+    if (!isKnownPrefetcher(prefetcher)) {
+        return notFoundError("cache '%s': unknown prefetcher '%s'",
+                             name.c_str(), prefetcher.c_str());
+    }
+    return Status();
+}
+
 std::uint32_t
 CacheConfig::numSets() const
 {

@@ -23,6 +23,7 @@
 
 #include "prefetch/prefetcher.hh"
 #include "replacement/replacement_policy.hh"
+#include "util/status.hh"
 #include "util/types.hh"
 
 namespace cachescope {
@@ -60,6 +61,15 @@ struct CacheConfig
     std::string replacement = "lru";
     /** Prefetcher name ("none", "next_line", "stride", "streamer"). */
     std::string prefetcher = "none";
+
+    /**
+     * Check that the shape derives a usable geometry (power-of-two
+     * block size, non-zero ways, power-of-two set count) and that the
+     * replacement/prefetcher names are registered. Catching these here
+     * keeps zero or non-power-of-two geometries from silently
+     * corrupting set indexing and statistics downstream.
+     */
+    Status validate() const;
 
     /** @return derived number of sets; fatal() if the shape is invalid. */
     std::uint32_t numSets() const;

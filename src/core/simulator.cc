@@ -9,6 +9,16 @@
 
 namespace cachescope {
 
+Status
+SimConfig::validate() const
+{
+    CS_TRY(hierarchy.l1i.validate());
+    CS_TRY(hierarchy.l1d.validate());
+    CS_TRY(hierarchy.l2.validate());
+    CS_TRY(hierarchy.llc.validate());
+    return Status();
+}
+
 double
 SimResult::mpkiL1d() const
 {

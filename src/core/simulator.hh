@@ -13,6 +13,7 @@
 #include "core/cpu_core.hh"
 #include "core/hierarchy.hh"
 #include "trace/record.hh"
+#include "util/status.hh"
 
 namespace cachescope {
 
@@ -25,6 +26,14 @@ struct SimConfig
     InstCount warmupInstructions = 0;
     /** Measured instructions after warmup; 0 = until the trace ends. */
     InstCount measureInstructions = 0;
+
+    /**
+     * Validate every cache level's geometry plus its replacement-policy
+     * and prefetcher names. Run this on user-assembled configurations
+     * before constructing a Simulator: construction fatal()s on the
+     * same conditions, whereas validate() reports them recoverably.
+     */
+    Status validate() const;
 };
 
 /** Everything a finished simulation reports. */

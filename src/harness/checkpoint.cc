@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Checkpoint journal implementation.
+ */
+
+#include "harness/checkpoint.hh"
+
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/parse.hh"
+
+namespace cachescope {
+
+namespace {
+
+/** First line of every journal; bump the suffix on format changes. */
+constexpr const char *kJournalHeader = "cachescope-checkpoint v1";
+
+/** Fields per record line (see serialize()). */
+constexpr std::size_t kNumFields = 10;
+
+std::size_t
+typeIndex(AccessType type)
+{
+    return static_cast<std::size_t>(type);
+}
+
+/**
+ * One completed cell per line:
+ * workload policy attempts wall_us instructions cycles
+ * llc_load_hits llc_store_hits llc_load_misses llc_store_misses
+ * (tab-separated; wall time in integer microseconds so the line stays
+ * locale- and float-format-proof).
+ */
+std::string
+serialize(const CellOutcome &out)
+{
+    std::ostringstream line;
+    line << out.workload << '\t' << out.policy << '\t' << out.attempts
+         << '\t'
+         << static_cast<std::uint64_t>(out.wallMs * 1000.0) << '\t'
+         << out.result.core.instructions << '\t' << out.result.core.cycles
+         << '\t' << out.result.llc.hitsOf(AccessType::Load) << '\t'
+         << out.result.llc.hitsOf(AccessType::Store) << '\t'
+         << out.result.llc.missesOf(AccessType::Load) << '\t'
+         << out.result.llc.missesOf(AccessType::Store);
+    return line.str();
+}
+
+/** @return the parsed outcome, or an error for a malformed line. */
+Expected<CellOutcome>
+deserialize(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', pos);
+        fields.push_back(line.substr(
+            pos, tab == std::string::npos ? tab : tab - pos));
+        if (tab == std::string::npos)
+            break;
+        pos = tab + 1;
+    }
+    if (fields.size() != kNumFields) {
+        return corruptionError("expected %zu fields, found %zu",
+                               kNumFields, fields.size());
+    }
+    if (fields[0].empty() || fields[1].empty())
+        return corruptionError("empty workload or policy name");
+
+    std::uint64_t numbers[kNumFields - 2];
+    for (std::size_t i = 2; i < kNumFields; ++i) {
+        CS_TRY_ASSIGN(numbers[i - 2], parseU64(fields[i]));
+    }
+
+    CellOutcome out;
+    out.workload = fields[0];
+    out.policy = fields[1];
+    out.ok = true;
+    out.attempts = static_cast<unsigned>(numbers[0]);
+    out.wallMs = static_cast<double>(numbers[1]) / 1000.0;
+    out.result.llcPolicy = out.policy;
+    out.result.core.instructions = numbers[2];
+    out.result.core.cycles = numbers[3];
+    out.result.llc.hits[typeIndex(AccessType::Load)] = numbers[4];
+    out.result.llc.hits[typeIndex(AccessType::Store)] = numbers[5];
+    out.result.llc.misses[typeIndex(AccessType::Load)] = numbers[6];
+    out.result.llc.misses[typeIndex(AccessType::Store)] = numbers[7];
+    return out;
+}
+
+} // anonymous namespace
+
+CheckpointJournal::~CheckpointJournal()
+{
+    close();
+}
+
+Status
+CheckpointJournal::open(const std::string &path)
+{
+    CS_ASSERT(file == nullptr, "journal opened twice");
+    path_ = path;
+    bool needs_header = true;
+
+    std::ifstream in(path, std::ios::binary);
+    if (in.is_open()) {
+        std::ostringstream raw;
+        raw << in.rdbuf();
+        in.close();
+        const std::string contents = raw.str();
+
+        std::istringstream lines(contents);
+        std::string line;
+        std::size_t line_no = 0;
+        bool saw_any = false;
+        while (std::getline(lines, line)) {
+            ++line_no;
+            if (line_no == 1) {
+                saw_any = true;
+                if (line != kJournalHeader) {
+                    return corruptionError(
+                        "'%s' is not a cachescope checkpoint journal "
+                        "(unexpected first line); refusing to touch it",
+                        path.c_str());
+                }
+                needs_header = false;
+                continue;
+            }
+            if (line.empty())
+                continue;
+            auto outcome = deserialize(line);
+            if (!outcome.ok()) {
+                // A ragged final line is the signature of a run killed
+                // mid-append; that cell simply re-runs.
+                warn("checkpoint '%s' line %zu ignored (%s)",
+                     path.c_str(), line_no,
+                     outcome.status().message().c_str());
+                continue;
+            }
+            Key key{outcome->workload, outcome->policy};
+            entries[std::move(key)] = outcome.take();
+        }
+        // An empty existing file gets a header like a fresh one.
+        needs_header = !saw_any;
+
+        // Truncate any bytes after the last newline so new appends are
+        // not glued onto the wreckage of an interrupted one.
+        if (!contents.empty() && contents.back() != '\n') {
+            const std::size_t last_nl = contents.find_last_of('\n');
+            const std::uintmax_t new_size =
+                last_nl == std::string::npos ? 0 : last_nl + 1;
+            warn("checkpoint '%s': dropping %zu byte(s) left by an "
+                 "interrupted append",
+                 path.c_str(),
+                 contents.size() - static_cast<std::size_t>(new_size));
+            std::error_code ec;
+            std::filesystem::resize_file(path, new_size, ec);
+            if (ec) {
+                return ioError(
+                    "cannot repair checkpoint journal '%s': %s",
+                    path.c_str(), ec.message().c_str());
+            }
+            if (new_size == 0)
+                needs_header = true;
+        }
+    }
+
+    file = std::fopen(path.c_str(), "ab");
+    if (!file) {
+        return ioError("cannot open checkpoint journal '%s' for append",
+                       path.c_str());
+    }
+    if (needs_header) {
+        if (std::fprintf(file, "%s\n", kJournalHeader) < 0 ||
+            std::fflush(file) != 0) {
+            return ioError("cannot write checkpoint header to '%s'",
+                           path.c_str());
+        }
+    }
+    return Status();
+}
+
+void
+CheckpointJournal::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+const CellOutcome *
+CheckpointJournal::find(const std::string &workload,
+                        const std::string &policy) const
+{
+    auto it = entries.find(Key{workload, policy});
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+Status
+CheckpointJournal::append(const CellOutcome &outcome)
+{
+    if (!file)
+        return internalError("checkpoint journal is not open");
+    if (!outcome.ok) {
+        return invalidArgumentError(
+            "refusing to checkpoint failed cell %s/%s (failures re-run "
+            "on resume)",
+            outcome.workload.c_str(), outcome.policy.c_str());
+    }
+    const std::string line = serialize(outcome);
+    if (std::fprintf(file, "%s\n", line.c_str()) < 0 ||
+        std::fflush(file) != 0) {
+        return ioError("cannot append to checkpoint journal '%s'",
+                       path_.c_str());
+    }
+    entries[Key{outcome.workload, outcome.policy}] = outcome;
+    return Status();
+}
+
+} // namespace cachescope

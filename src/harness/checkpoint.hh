@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Append-only checkpoint journal for sweep resumability.
+ *
+ * Every successfully completed (workload x policy) cell is appended as
+ * one line and flushed immediately, so a sweep killed mid-run (OOM,
+ * ^C, node preemption) can be re-invoked with the same journal file
+ * and only the unfinished cells are simulated again. The journal
+ * stores the summary statistics the reporting layer needs (IPC and LLC
+ * demand behaviour), not full SimResult detail.
+ *
+ * The format is line-oriented, tab-separated text: a header line
+ * followed by one record per cell. Parsing is deliberately tolerant of
+ * a malformed *trailing* line — the expected wreckage of a process
+ * killed mid-append — which is skipped with a warning.
+ */
+
+#ifndef CACHESCOPE_HARNESS_CHECKPOINT_HH
+#define CACHESCOPE_HARNESS_CHECKPOINT_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "harness/experiment.hh"
+#include "util/status.hh"
+
+namespace cachescope {
+
+class CheckpointJournal
+{
+  public:
+    CheckpointJournal() = default;
+    ~CheckpointJournal();
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /**
+     * Open @p path for resuming and appending; loads any cells a
+     * previous run completed. Creates the file if missing; rejects
+     * files that are not checkpoint journals.
+     */
+    Status open(const std::string &path);
+
+    /** Flush and close (also run by the destructor). */
+    void close();
+
+    /**
+     * @return the completed outcome recorded for this cell, or nullptr
+     * if the cell has not been completed yet.
+     */
+    const CellOutcome *find(const std::string &workload,
+                            const std::string &policy) const;
+
+    /** Record a successfully completed cell; flushed immediately. */
+    Status append(const CellOutcome &outcome);
+
+    /** Number of completed cells currently in the journal. */
+    std::size_t completedCells() const { return entries.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    using Key = std::pair<std::string, std::string>;
+
+    std::string path_;
+    std::FILE *file = nullptr;
+    std::map<Key, CellOutcome> entries;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_HARNESS_CHECKPOINT_HH

@@ -7,10 +7,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <exception>
 #include <mutex>
 #include <thread>
 
+#include "harness/checkpoint.hh"
 #include "replacement/belady.hh"
 #include "stats/summary.hh"
 #include "util/logging.hh"
@@ -69,9 +72,60 @@ SuiteRunner::SuiteRunner(SimConfig base, unsigned jobs)
     }
 }
 
-SweepResults
-SuiteRunner::run(const std::vector<std::shared_ptr<Workload>> &suite,
-                 const std::vector<std::string> &policies) const
+std::size_t
+SweepReport::failed() const
+{
+    std::size_t n = 0;
+    for (const auto &outcome : outcomes)
+        if (!outcome.ok)
+            ++n;
+    return n;
+}
+
+CellOutcome
+SuiteRunner::runCell(Workload &workload, const std::string &policy) const
+{
+    CellOutcome out;
+    out.workload = workload.name();
+    out.policy = policy;
+    const auto start = std::chrono::steady_clock::now();
+
+    SimConfig config = base;
+    // "belady" is the offline oracle, injected rather than looked up in
+    // the registry; validate the base configuration unchanged for it.
+    const bool belady = policy == "belady";
+    if (!belady)
+        config.hierarchy.llc.replacement = policy;
+
+    if (Status valid = config.validate(); !valid.ok()) {
+        out.error = valid.toString();
+    } else {
+        const unsigned max_attempts = retries_ + 1;
+        for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            out.attempts = attempt;
+            try {
+                out.result = belady ? runBelady(workload, config)
+                                    : runOne(workload, config);
+                out.ok = true;
+                out.error.clear();
+                break;
+            } catch (const std::exception &e) {
+                out.error = e.what();
+            } catch (...) {
+                out.error = "non-standard exception";
+            }
+        }
+    }
+
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return out;
+}
+
+SweepReport
+SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
+                        const std::vector<std::string> &policies) const
 {
     struct Cell
     {
@@ -83,42 +137,78 @@ SuiteRunner::run(const std::vector<std::shared_ptr<Workload>> &suite,
         for (const auto &policy : policies)
             cells.push_back({workload, policy});
 
-    SweepResults results;
-    std::mutex results_mutex;
+    SweepReport report;
+    report.outcomes.resize(cells.size());
+
+    // Restore cells a previous (interrupted) run already finished.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &cell = cells[i];
+        const CellOutcome *done = journal_
+            ? journal_->find(cell.workload->name(), cell.policy)
+            : nullptr;
+        if (done) {
+            report.outcomes[i] = *done;
+            report.outcomes[i].fromCheckpoint = true;
+            report.results[cell.workload->name()][cell.policy] =
+                done->result;
+            if (verbose_) {
+                std::fprintf(stderr, "  [%zu/%zu] %-24s %-8s restored "
+                             "from checkpoint\n",
+                             i + 1, cells.size(),
+                             cell.workload->name().c_str(),
+                             cell.policy.c_str());
+            }
+        } else {
+            pending.push_back(i);
+        }
+    }
+
+    std::mutex report_mutex;
     std::atomic<std::size_t> cursor{0};
 
     auto worker = [&]() {
         while (true) {
-            const std::size_t i = cursor.fetch_add(1);
-            if (i >= cells.size())
+            const std::size_t k = cursor.fetch_add(1);
+            if (k >= pending.size())
                 return;
+            const std::size_t i = pending[k];
             const Cell &cell = cells[i];
-            SimConfig config = base;
-            SimResult result;
-            if (cell.policy == "belady") {
-                result = runBelady(*cell.workload, config);
-            } else {
-                config.hierarchy.llc.replacement = cell.policy;
-                result = runOne(*cell.workload, config);
-            }
+            CellOutcome out = runCell(*cell.workload, cell.policy);
             {
-                std::lock_guard<std::mutex> lock(results_mutex);
-                results[cell.workload->name()][cell.policy] = result;
-                if (verbose_) {
+                std::lock_guard<std::mutex> lock(report_mutex);
+                ++report.executed;
+                if (out.ok) {
+                    report.results[out.workload][out.policy] = out.result;
+                    if (journal_) {
+                        if (Status s = journal_->append(out); !s.ok()) {
+                            warn("checkpoint append failed: %s",
+                                 s.message().c_str());
+                        }
+                    }
+                }
+                if (verbose_ && out.ok) {
                     std::fprintf(stderr,
                                  "  [%zu/%zu] %-24s %-8s ipc=%.3f "
                                  "llc_mpki=%.2f\n",
                                  i + 1, cells.size(),
-                                 cell.workload->name().c_str(),
-                                 cell.policy.c_str(), result.ipc(),
-                                 result.mpkiLlc());
+                                 out.workload.c_str(), out.policy.c_str(),
+                                 out.result.ipc(), out.result.mpkiLlc());
+                } else if (verbose_) {
+                    std::fprintf(stderr,
+                                 "  [%zu/%zu] %-24s %-8s FAILED after "
+                                 "%u attempt(s): %s\n",
+                                 i + 1, cells.size(),
+                                 out.workload.c_str(), out.policy.c_str(),
+                                 out.attempts, out.error.c_str());
                 }
+                report.outcomes[i] = std::move(out);
             }
         }
     };
 
     const unsigned nthreads =
-        static_cast<unsigned>(std::min<std::size_t>(jobs, cells.size()));
+        static_cast<unsigned>(std::min<std::size_t>(jobs, pending.size()));
     std::vector<std::thread> threads;
     threads.reserve(nthreads);
     for (unsigned t = 0; t < nthreads; ++t)
@@ -126,7 +216,21 @@ SuiteRunner::run(const std::vector<std::shared_ptr<Workload>> &suite,
     for (auto &t : threads)
         t.join();
 
-    return results;
+    return report;
+}
+
+SweepResults
+SuiteRunner::run(const std::vector<std::shared_ptr<Workload>> &suite,
+                 const std::vector<std::string> &policies) const
+{
+    SweepReport report = runChecked(suite, policies);
+    for (const auto &outcome : report.outcomes) {
+        if (!outcome.ok) {
+            warn("sweep cell %s/%s failed: %s", outcome.workload.c_str(),
+                 outcome.policy.c_str(), outcome.error.c_str());
+        }
+    }
+    return std::move(report.results);
 }
 
 std::map<std::string, double>

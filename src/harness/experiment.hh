@@ -37,8 +37,49 @@ SimResult runBelady(Workload &workload, const SimConfig &config);
 using SweepResults =
     std::map<std::string, std::map<std::string, SimResult>>;
 
+/** Fate of a single (workload x policy) grid cell. */
+struct CellOutcome
+{
+    std::string workload;
+    std::string policy;
+    /** True iff `result` holds a completed simulation. */
+    bool ok = false;
+    /** True iff restored from a checkpoint journal, not simulated. */
+    bool fromCheckpoint = false;
+    /** Simulation attempts consumed (0 = rejected before running). */
+    unsigned attempts = 0;
+    /** Wall-clock time spent on this cell, across all attempts. */
+    double wallMs = 0.0;
+    /** Human-readable failure description; empty when ok. */
+    std::string error;
+    SimResult result;
+};
+
+/** Everything a fault-isolating sweep reports. */
+struct SweepReport
+{
+    /** Successful cells only, in the legacy map shape. */
+    SweepResults results;
+    /** One entry per grid cell, in grid (workload-major) order. */
+    std::vector<CellOutcome> outcomes;
+    /** Cells actually simulated this run (checkpoint hits excluded). */
+    std::size_t executed = 0;
+
+    std::size_t failed() const;
+    bool allOk() const { return failed() == 0; }
+};
+
+class CheckpointJournal;
+
 /**
  * Runs workload x policy grids, optionally in parallel.
+ *
+ * runChecked() isolates faults per cell: a cell whose configuration
+ * fails validation (e.g. an unknown policy name) or whose workload
+ * throws is recorded as a failed CellOutcome while every other cell
+ * completes normally. Optional per-cell retries absorb transient
+ * failures, and an optional CheckpointJournal makes interrupted sweeps
+ * resumable.
  */
 class SuiteRunner
 {
@@ -50,7 +91,18 @@ class SuiteRunner
      */
     explicit SuiteRunner(SimConfig base, unsigned jobs = 0);
 
-    /** Run every workload under every policy. */
+    /**
+     * Run every workload under every policy, isolating per-cell
+     * failures instead of propagating them.
+     */
+    SweepReport runChecked(
+        const std::vector<std::shared_ptr<Workload>> &suite,
+        const std::vector<std::string> &policies) const;
+
+    /**
+     * Legacy wrapper around runChecked(): returns the successful cells
+     * and warn()s about failed ones.
+     */
     SweepResults run(
         const std::vector<std::shared_ptr<Workload>> &suite,
         const std::vector<std::string> &policies) const;
@@ -58,10 +110,25 @@ class SuiteRunner
     /** Enable/disable per-cell progress lines on stderr. */
     void setVerbose(bool verbose) { verbose_ = verbose; }
 
+    /** Extra simulation attempts per cell after a failure (default 0). */
+    void setRetries(unsigned retries) { retries_ = retries; }
+
+    /**
+     * Attach a checkpoint journal (not owned; must outlive the run).
+     * Cells already completed in the journal are restored instead of
+     * re-simulated; newly completed cells are appended to it.
+     */
+    void setCheckpoint(CheckpointJournal *journal) { journal_ = journal; }
+
   private:
+    CellOutcome runCell(Workload &workload,
+                        const std::string &policy) const;
+
     SimConfig base;
     unsigned jobs;
     bool verbose_ = true;
+    unsigned retries_ = 0;
+    CheckpointJournal *journal_ = nullptr;
 };
 
 /**

@@ -50,6 +50,15 @@ synthByName()
 std::shared_ptr<Workload>
 makeNamedWorkload(const std::string &name, const ZooOptions &options)
 {
+    auto workload = tryMakeNamedWorkload(name, options);
+    if (!workload.ok())
+        fatal("%s", workload.status().message().c_str());
+    return workload.take();
+}
+
+Expected<std::shared_ptr<Workload>>
+tryMakeNamedWorkload(const std::string &name, const ZooOptions &options)
+{
     // "bfs_do" selects GAP's direction-optimizing BFS variant.
     const bool bfs_do = name == "bfs_do";
     const std::string gap_name = bfs_do ? "bfs" : name;
@@ -65,24 +74,34 @@ makeNamedWorkload(const std::string &name, const ZooOptions &options)
             std::to_string(options.scale);
         GapKernelParams params;
         params.directionOptimizingBfs = bfs_do;
-        return std::make_shared<GapWorkload>(it->second, tag, graph,
-                                             params);
+        return std::shared_ptr<Workload>(
+            std::make_shared<GapWorkload>(it->second, tag, graph, params));
     }
     if (auto it = synthByName().find(name); it != synthByName().end()) {
         SynthParams params;
         params.mainBytes = options.synthMainBytes;
         params.seed = options.seed;
-        return std::make_shared<SyntheticWorkload>("synth", it->second,
-                                                   params);
+        return std::shared_ptr<Workload>(std::make_shared<SyntheticWorkload>(
+            "synth", it->second, params));
     }
-    fatal("unknown workload '%s' (try one of: bfs bfs_do pr cc bc sssp tc "
-          "stream_triad scan_thrash hot_cold pointer_chase stencil2d "
-          "mixed_phase dead_fill gather_zipf tree_search small_ws)",
-          name.c_str());
+    return notFoundError(
+        "unknown workload '%s' (try one of: bfs bfs_do pr cc bc sssp tc "
+        "stream_triad scan_thrash hot_cold pointer_chase stencil2d "
+        "mixed_phase dead_fill gather_zipf tree_search small_ws)",
+        name.c_str());
 }
 
 std::vector<std::shared_ptr<Workload>>
 makeNamedSuite(const std::string &name, const ZooOptions &options)
+{
+    auto suite = tryMakeNamedSuite(name, options);
+    if (!suite.ok())
+        fatal("%s", suite.status().message().c_str());
+    return suite.take();
+}
+
+Expected<std::vector<std::shared_ptr<Workload>>>
+tryMakeNamedSuite(const std::string &name, const ZooOptions &options)
 {
     if (name == "gap") {
         GapSuiteConfig cfg;
@@ -95,7 +114,8 @@ makeNamedSuite(const std::string &name, const ZooOptions &options)
         return makeSpec06Suite();
     if (name == "spec17")
         return makeSpec17Suite();
-    fatal("unknown suite '%s' (try: gap, spec06, spec17)", name.c_str());
+    return notFoundError("unknown suite '%s' (try: gap, spec06, spec17)",
+                         name.c_str());
 }
 
 std::vector<std::string>

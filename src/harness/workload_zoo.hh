@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "trace/workload.hh"
+#include "util/status.hh"
 
 namespace cachescope {
 
@@ -49,6 +50,15 @@ std::shared_ptr<Workload> makeNamedWorkload(const std::string &name,
  */
 std::vector<std::shared_ptr<Workload>>
 makeNamedSuite(const std::string &name, const ZooOptions &options = {});
+
+/** As makeNamedWorkload(), but unknown names become Status errors. */
+Expected<std::shared_ptr<Workload>>
+tryMakeNamedWorkload(const std::string &name,
+                     const ZooOptions &options = {});
+
+/** As makeNamedSuite(), but unknown names become Status errors. */
+Expected<std::vector<std::shared_ptr<Workload>>>
+tryMakeNamedSuite(const std::string &name, const ZooOptions &options = {});
 
 /** @return all individual workload names the zoo accepts. */
 std::vector<std::string> zooWorkloadNames();

@@ -124,15 +124,37 @@ StreamPrefetcher::onAccess(Addr block_addr, Pc, bool,
 std::unique_ptr<Prefetcher>
 makePrefetcher(const std::string &name)
 {
+    auto prefetcher = tryMakePrefetcher(name);
+    if (!prefetcher.ok())
+        fatal("%s", prefetcher.status().message().c_str());
+    return prefetcher.take();
+}
+
+Expected<std::unique_ptr<Prefetcher>>
+tryMakePrefetcher(const std::string &name)
+{
     if (name.empty() || name == "none")
-        return nullptr;
+        return std::unique_ptr<Prefetcher>();
     if (name == "next_line")
-        return std::make_unique<NextLinePrefetcher>();
+        return std::unique_ptr<Prefetcher>(new NextLinePrefetcher());
     if (name == "stride")
-        return std::make_unique<StridePrefetcher>();
+        return std::unique_ptr<Prefetcher>(new StridePrefetcher());
     if (name == "streamer")
-        return std::make_unique<StreamPrefetcher>();
-    fatal("unknown prefetcher '%s'", name.c_str());
+        return std::unique_ptr<Prefetcher>(new StreamPrefetcher());
+    return notFoundError("unknown prefetcher '%s' (try: none next_line "
+                         "stride streamer)",
+                         name.c_str());
+}
+
+bool
+isKnownPrefetcher(const std::string &name)
+{
+    if (name.empty() || name == "none")
+        return true;
+    for (const auto &known : availablePrefetchers())
+        if (name == known)
+            return true;
+    return false;
 }
 
 std::vector<std::string>

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
 #include "util/types.hh"
 
 namespace cachescope {
@@ -136,9 +137,19 @@ class StreamPrefetcher : public Prefetcher
 
 /**
  * Name-based factory ("none" returns nullptr): next_line, stride,
- * streamer.
+ * streamer. fatal() on unknown names.
  */
 std::unique_ptr<Prefetcher> makePrefetcher(const std::string &name);
+
+/**
+ * As makePrefetcher(), but unknown names come back as a Status error
+ * instead of terminating the process.
+ */
+Expected<std::unique_ptr<Prefetcher>>
+tryMakePrefetcher(const std::string &name);
+
+/** @return true iff @p name is "none"/"" or a registered prefetcher. */
+bool isKnownPrefetcher(const std::string &name);
 
 /** @return the registered prefetcher names (excluding "none"). */
 std::vector<std::string> availablePrefetchers();

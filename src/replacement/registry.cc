@@ -64,12 +64,27 @@ std::unique_ptr<ReplacementPolicy>
 ReplacementPolicyFactory::create(const std::string &name,
                                  const CacheGeometry &geometry)
 {
+    auto policy = tryCreate(name, geometry);
+    if (!policy.ok())
+        fatal("%s", policy.status().message().c_str());
+    return policy.take();
+}
+
+Expected<std::unique_ptr<ReplacementPolicy>>
+ReplacementPolicyFactory::tryCreate(const std::string &name,
+                                    const CacheGeometry &geometry)
+{
     ensureBuiltins();
-    CS_ASSERT(geometry.numSets > 0 && geometry.numWays > 0,
-              "empty cache geometry");
+    if (geometry.numSets == 0 || geometry.numWays == 0) {
+        return invalidArgumentError(
+            "cannot build policy '%s' on an empty geometry (%u sets x "
+            "%u ways)",
+            name.c_str(), geometry.numSets, geometry.numWays);
+    }
     auto it = creatorMap().find(name);
     if (it == creatorMap().end())
-        fatal("unknown replacement policy '%s'", name.c_str());
+        return notFoundError("unknown replacement policy '%s'",
+                             name.c_str());
     auto policy = it->second(geometry);
     policy->policyName = name;
     return policy;

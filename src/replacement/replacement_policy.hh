@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
 #include "util/types.hh"
 
 namespace cachescope {
@@ -140,6 +141,13 @@ class ReplacementPolicyFactory
     /** Instantiate policy @p name; fatal() if unknown. */
     static std::unique_ptr<ReplacementPolicy>
     create(const std::string &name, const CacheGeometry &geometry);
+
+    /**
+     * Instantiate policy @p name, reporting unknown names (and other
+     * bad input) as a Status instead of terminating.
+     */
+    static Expected<std::unique_ptr<ReplacementPolicy>>
+    tryCreate(const std::string &name, const CacheGeometry &geometry);
 
     /** @return all registered names, sorted. */
     static std::vector<std::string> availablePolicies();

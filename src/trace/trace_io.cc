@@ -27,32 +27,67 @@ static_assert(sizeof(DiskRecord) == 24, "trace record must pack to 24 B");
 
 } // anonymous namespace
 
+Expected<std::unique_ptr<TraceWriter>>
+TraceWriter::open(const std::string &path)
+{
+    std::unique_ptr<TraceWriter> writer(new TraceWriter());
+    CS_TRY(writer->init(path));
+    return writer;
+}
+
 TraceWriter::TraceWriter(const std::string &path)
 {
+    if (Status s = init(path); !s.ok())
+        fatal("%s", s.message().c_str());
+}
+
+Status
+TraceWriter::init(const std::string &file_path)
+{
+    path = file_path;
     file = std::fopen(path.c_str(), "wb");
-    if (!file)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
+    if (!file) {
+        return ioError("cannot open trace file '%s' for writing",
+                       path.c_str());
+    }
     TraceFileHeader hdr;
-    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
-        fatal("cannot write trace header to '%s'", path.c_str());
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1) {
+        std::fclose(file);
+        file = nullptr;
+        return ioError("cannot write trace header to '%s'", path.c_str());
+    }
+    return Status();
 }
 
 TraceWriter::~TraceWriter()
 {
+    const bool pending = !finalized && file != nullptr;
     finalize();
+    if (pending && !status_.ok()) {
+        warn("trace writer for '%s' destroyed with unreported error: %s",
+             path.c_str(), status_.message().c_str());
+    }
 }
 
 void
 TraceWriter::onInstruction(const TraceRecord &rec)
 {
     CS_ASSERT(!finalized, "write after onEnd()");
+    if (!status_.ok())
+        return; // already failed; drop further records
     DiskRecord d{};
     d.pc = rec.pc;
     d.addr = rec.addr;
     d.kind = static_cast<std::uint8_t>(rec.kind);
     d.size = rec.size;
-    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
-        fatal("short write to trace file");
+    if (std::fwrite(&d, sizeof(d), 1, file) != 1) {
+        status_ = ioError("short write to trace file '%s' after %llu "
+                          "records (disk full?)",
+                          path.c_str(),
+                          static_cast<unsigned long long>(count));
+        return;
+    }
+    checksum.update(&d, sizeof(d));
     ++count;
 }
 
@@ -60,6 +95,13 @@ void
 TraceWriter::onEnd()
 {
     finalize();
+}
+
+Status
+TraceWriter::finish()
+{
+    finalize();
+    return status_;
 }
 
 void
@@ -70,26 +112,73 @@ TraceWriter::finalize()
     finalized = true;
     TraceFileHeader hdr;
     hdr.numRecords = count;
-    std::fseek(file, 0, SEEK_SET);
-    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
-        fatal("cannot back-patch trace header");
-    std::fclose(file);
+    hdr.checksum = checksum.digest();
+    // Report the first failure but always release the FILE.
+    if (status_.ok() && std::fseek(file, 0, SEEK_SET) != 0)
+        status_ = ioError("cannot seek to trace header in '%s'",
+                          path.c_str());
+    if (status_.ok() && std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
+        status_ = ioError("cannot back-patch trace header in '%s'",
+                          path.c_str());
+    if (status_.ok() && std::fflush(file) != 0)
+        status_ = ioError("cannot flush trace file '%s' (disk full?)",
+                          path.c_str());
+    if (std::fclose(file) != 0 && status_.ok())
+        status_ = ioError("cannot close trace file '%s'", path.c_str());
     file = nullptr;
+}
+
+Expected<std::unique_ptr<TraceReader>>
+TraceReader::open(const std::string &path)
+{
+    std::unique_ptr<TraceReader> reader(new TraceReader());
+    CS_TRY(reader->init(path));
+    return reader;
 }
 
 TraceReader::TraceReader(const std::string &path)
 {
+    if (Status s = init(path); !s.ok())
+        fatal("%s", s.message().c_str());
+}
+
+Status
+TraceReader::init(const std::string &file_path)
+{
+    path = file_path;
     file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        fatal("cannot open trace file '%s' for reading", path.c_str());
-    if (std::fread(&header, sizeof(header), 1, file) != 1)
-        fatal("trace file '%s' is too short for a header", path.c_str());
-    if (header.magic != TraceFileHeader::kMagic)
-        fatal("'%s' is not a CacheScope trace (bad magic)", path.c_str());
-    if (header.version != TraceFileHeader::kVersion) {
-        fatal("trace '%s' has unsupported version %u", path.c_str(),
-              header.version);
+    if (!file) {
+        return ioError("cannot open trace file '%s' for reading",
+                       path.c_str());
     }
+    // Read the version-independent 16-byte prefix first; only v2+
+    // carries the trailing checksum word.
+    if (std::fread(&header, TraceFileHeader::kV1Bytes, 1, file) != 1) {
+        return corruptionError("trace file '%s' is too short for a header",
+                               path.c_str());
+    }
+    if (header.magic != TraceFileHeader::kMagic) {
+        return corruptionError("'%s' is not a CacheScope trace (bad magic)",
+                               path.c_str());
+    }
+    if (header.version != TraceFileHeader::kVersionV1 &&
+        header.version != TraceFileHeader::kVersion) {
+        return invalidArgumentError(
+            "trace '%s' has unsupported version %u (this build reads "
+            "v1 and v2)",
+            path.c_str(), header.version);
+    }
+    if (header.version >= TraceFileHeader::kVersion) {
+        if (std::fread(&header.checksum, sizeof(header.checksum), 1,
+                       file) != 1) {
+            return corruptionError(
+                "trace file '%s' is too short for a v%u header",
+                path.c_str(), header.version);
+        }
+    } else {
+        header.checksum = 0;
+    }
+    return Status();
 }
 
 TraceReader::~TraceReader()
@@ -101,11 +190,52 @@ TraceReader::~TraceReader()
 bool
 TraceReader::next(TraceRecord &rec)
 {
-    DiskRecord d;
-    if (std::fread(&d, sizeof(d), 1, file) != 1)
+    if (done)
         return false;
-    if (d.kind > static_cast<std::uint8_t>(InstKind::Branch))
-        fatal("corrupt trace record (kind=%u)", d.kind);
+    DiskRecord d;
+    const std::size_t got = std::fread(&d, 1, sizeof(d), file);
+    if (got != sizeof(d)) {
+        done = true;
+        if (std::ferror(file)) {
+            status_ = ioError("read error in trace '%s' after %llu records",
+                              path.c_str(),
+                              static_cast<unsigned long long>(recordsRead_));
+        } else if (got != 0) {
+            status_ = corruptionError(
+                "trace '%s' is truncated mid-record: expected %llu "
+                "records, found %llu complete records plus %zu stray "
+                "bytes",
+                path.c_str(),
+                static_cast<unsigned long long>(header.numRecords),
+                static_cast<unsigned long long>(recordsRead_), got);
+        } else if (recordsRead_ != header.numRecords) {
+            status_ = corruptionError(
+                "trace '%s' record count mismatch: header expected %llu "
+                "records, file actually holds %llu",
+                path.c_str(),
+                static_cast<unsigned long long>(header.numRecords),
+                static_cast<unsigned long long>(recordsRead_));
+        } else if (header.version >= TraceFileHeader::kVersion &&
+                   checksum.digest() != header.checksum) {
+            status_ = corruptionError(
+                "trace '%s' checksum mismatch: header says %016llx, "
+                "records hash to %016llx (bit rot or concurrent write?)",
+                path.c_str(),
+                static_cast<unsigned long long>(header.checksum),
+                static_cast<unsigned long long>(checksum.digest()));
+        }
+        return false;
+    }
+    if (d.kind > static_cast<std::uint8_t>(InstKind::Branch)) {
+        done = true;
+        status_ = corruptionError(
+            "corrupt record %llu in trace '%s' (kind=%u)",
+            static_cast<unsigned long long>(recordsRead_), path.c_str(),
+            d.kind);
+        return false;
+    }
+    checksum.update(&d, sizeof(d));
+    ++recordsRead_;
     rec.pc = d.pc;
     rec.addr = d.addr;
     rec.kind = static_cast<InstKind>(d.kind);
@@ -113,8 +243,8 @@ TraceReader::next(TraceRecord &rec)
     return true;
 }
 
-std::uint64_t
-TraceReader::replayInto(InstructionSink &sink)
+Status
+TraceReader::replayInto(InstructionSink &sink, std::uint64_t *replayed)
 {
     TraceRecord rec;
     std::uint64_t n = 0;
@@ -122,8 +252,11 @@ TraceReader::replayInto(InstructionSink &sink)
         sink.onInstruction(rec);
         ++n;
     }
+    if (replayed)
+        *replayed = n;
+    CS_TRY(status_);
     sink.onEnd();
-    return n;
+    return Status();
 }
 
 } // namespace cachescope

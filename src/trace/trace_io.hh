@@ -2,18 +2,31 @@
  * @file
  * Binary trace file round-tripping.
  *
- * The on-disk format is a fixed 24-byte little-endian record preceded by
- * a 16-byte header, so traces captured from one workload run can be
- * replayed later (ChampSim-style) without re-executing the workload.
+ * The on-disk format is a fixed 24-byte little-endian record preceded
+ * by a header, so traces captured from one workload run can be replayed
+ * later (ChampSim-style) without re-executing the workload.
+ *
+ * Format v2 extends the v1 header with a 64-bit checksum over the
+ * record bytes; the reader verifies both the checksum and the promised
+ * record count, so truncated or bit-flipped traces are reported as
+ * Status errors instead of silently replaying short. v1 files remain
+ * readable (no checksum to verify, but the record count still is).
+ *
+ * Error reporting: the static open() factories return Expected and
+ * never terminate the process; the legacy path-taking constructors are
+ * convenience wrappers that fatal() on the same errors.
  */
 
 #ifndef CACHESCOPE_TRACE_TRACE_IO_HH
 #define CACHESCOPE_TRACE_TRACE_IO_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "trace/record.hh"
+#include "util/checksum.hh"
+#include "util/status.hh"
 
 namespace cachescope {
 
@@ -21,21 +34,40 @@ namespace cachescope {
 struct TraceFileHeader
 {
     static constexpr std::uint32_t kMagic = 0x43535452; // "CSTR"
-    static constexpr std::uint32_t kVersion = 1;
+    static constexpr std::uint32_t kVersionV1 = 1;
+    static constexpr std::uint32_t kVersion = 2;
+
+    /** Bytes of header preceding the records, per version. */
+    static constexpr std::size_t kV1Bytes = 16;
+    static constexpr std::size_t kV2Bytes = 24;
 
     std::uint32_t magic = kMagic;
     std::uint32_t version = kVersion;
     std::uint64_t numRecords = 0;
+    /** v2+: Checksum64 digest over all record bytes, in file order. */
+    std::uint64_t checksum = 0;
 };
+
+static_assert(sizeof(TraceFileHeader) == TraceFileHeader::kV2Bytes,
+              "v2 header must pack to 24 B");
 
 /**
  * An InstructionSink that appends every record to a binary trace file.
- * The record count in the header is back-patched on onEnd()/destruction.
+ * The record count and checksum are back-patched into the header by
+ * finish()/onEnd()/destruction.
+ *
+ * I/O errors (e.g. a full disk) are sticky: the first failure is
+ * recorded, further records are dropped, and finish() (or status())
+ * reports it. The destructor warns about unretrieved errors.
  */
 class TraceWriter : public InstructionSink
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
+    /** Open @p path for writing. */
+    static Expected<std::unique_ptr<TraceWriter>>
+    open(const std::string &path);
+
+    /** Convenience wrapper around open(); fatal() on failure. */
     explicit TraceWriter(const std::string &path);
     ~TraceWriter() override;
 
@@ -45,23 +77,45 @@ class TraceWriter : public InstructionSink
     void onInstruction(const TraceRecord &rec) override;
     void onEnd() override;
 
+    /**
+     * Back-patch the header, flush, and close the file.
+     * @return the first error hit during writing or finalization.
+     */
+    Status finish();
+
+    /** Sticky error state (OK while everything has succeeded). */
+    const Status &status() const { return status_; }
+
     std::uint64_t recordsWritten() const { return count; }
 
   private:
+    TraceWriter() = default;
+    Status init(const std::string &path);
     void finalize();
 
     std::FILE *file = nullptr;
+    std::string path;
+    Checksum64 checksum;
+    Status status_;
     std::uint64_t count = 0;
     bool finalized = false;
 };
 
 /**
  * Reads a binary trace file and replays it into a sink.
+ *
+ * next() returns false at end of input; status() distinguishes a
+ * verified clean end (record count and, for v2, checksum both match
+ * the header) from truncation, corruption, or read errors.
  */
 class TraceReader
 {
   public:
-    /** Open @p path for reading; fatal() on failure or bad header. */
+    /** Open @p path and validate its header. */
+    static Expected<std::unique_ptr<TraceReader>>
+    open(const std::string &path);
+
+    /** Convenience wrapper around open(); fatal() on failure. */
     explicit TraceReader(const std::string &path);
     ~TraceReader();
 
@@ -71,18 +125,43 @@ class TraceReader
     /** @return the number of records the header promises. */
     std::uint64_t numRecords() const { return header.numRecords; }
 
+    /** @return the on-disk format version (1 or 2). */
+    std::uint32_t version() const { return header.version; }
+
     /**
      * Read the next record.
-     * @return false at end of file.
+     * @return false at end of input; check status() afterwards to tell
+     *         clean EOF from truncation/corruption.
      */
     bool next(TraceRecord &rec);
 
-    /** Push all (remaining) records into @p sink, then call onEnd(). */
-    std::uint64_t replayInto(InstructionSink &sink);
+    /** Non-OK once next() has hit truncation, corruption, or EIO. */
+    const Status &status() const { return status_; }
+
+    /** Records successfully returned by next() so far. */
+    std::uint64_t recordsRead() const { return recordsRead_; }
+
+    /**
+     * Push all (remaining) records into @p sink.
+     *
+     * On success calls sink.onEnd() and returns OK; on a corrupt or
+     * truncated trace returns the error without calling onEnd().
+     * @param replayed if non-null, receives the replayed-record count.
+     */
+    Status replayInto(InstructionSink &sink,
+                      std::uint64_t *replayed = nullptr);
 
   private:
+    TraceReader() = default;
+    Status init(const std::string &path);
+
     std::FILE *file = nullptr;
+    std::string path;
     TraceFileHeader header;
+    Checksum64 checksum;
+    Status status_;
+    std::uint64_t recordsRead_ = 0;
+    bool done = false;
 };
 
 } // namespace cachescope

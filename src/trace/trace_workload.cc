@@ -5,27 +5,56 @@
 
 #include "trace/trace_workload.hh"
 
+#include <stdexcept>
+
 namespace cachescope {
 
-TraceFileWorkload::TraceFileWorkload(std::string path,
-                                     std::string display_name)
-    : path(std::move(path)),
-      displayName(display_name.empty() ? this->path
-                                       : std::move(display_name))
+Expected<std::shared_ptr<TraceFileWorkload>>
+TraceFileWorkload::open(std::string path, std::string display_name)
 {
     // Validate the header now so bad paths fail at construction, not
     // mid-sweep.
-    TraceReader probe(this->path);
-    records = probe.numRecords();
+    CS_TRY_ASSIGN(auto probe, TraceReader::open(path));
+    std::shared_ptr<TraceFileWorkload> workload(
+        new TraceFileWorkload(std::move(path), std::move(display_name),
+                              probe->numRecords()));
+    return workload;
 }
+
+TraceFileWorkload::TraceFileWorkload(std::string path,
+                                     std::string display_name)
+{
+    auto opened = open(std::move(path), std::move(display_name));
+    if (!opened.ok())
+        fatal("%s", opened.status().message().c_str());
+    this->path = opened.value()->path;
+    this->displayName = opened.value()->displayName;
+    this->records = opened.value()->records;
+}
+
+TraceFileWorkload::TraceFileWorkload(std::string path,
+                                     std::string display_name,
+                                     std::uint64_t records)
+    : path(std::move(path)),
+      displayName(display_name.empty() ? this->path
+                                       : std::move(display_name)),
+      records(records)
+{}
 
 void
 TraceFileWorkload::run(InstructionSink &sink)
 {
-    TraceReader reader(path);
+    auto reader = TraceReader::open(path);
+    if (!reader.ok())
+        throw std::runtime_error(reader.status().toString());
     TraceRecord rec;
-    while (sink.wantsMore() && reader.next(rec))
+    while (sink.wantsMore() && reader.value()->next(rec))
         sink.onInstruction(rec);
+    // Distinguish a clean stop (EOF or satisfied sink) from a trace
+    // that ended early because it is damaged. Thrown rather than
+    // fatal()ed so a sweep harness can isolate the failing cell.
+    if (!reader.value()->status().ok())
+        throw std::runtime_error(reader.value()->status().toString());
     sink.onEnd();
 }
 

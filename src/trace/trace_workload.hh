@@ -9,6 +9,7 @@
 #ifndef CACHESCOPE_TRACE_TRACE_WORKLOAD_HH
 #define CACHESCOPE_TRACE_TRACE_WORKLOAD_HH
 
+#include <memory>
 #include <string>
 
 #include "trace/trace_io.hh"
@@ -20,25 +21,37 @@ class TraceFileWorkload : public Workload
 {
   public:
     /**
-     * @param path trace file (validated eagerly; fatal() if unusable).
+     * Open @p path, validating the header eagerly so bad files are
+     * reported here rather than mid-sweep.
      * @param display_name name used in result tables; defaults to the
      *        file path.
      */
+    static Expected<std::shared_ptr<TraceFileWorkload>>
+    open(std::string path, std::string display_name = "");
+
+    /** Convenience wrapper around open(); fatal() if unusable. */
     explicit TraceFileWorkload(std::string path,
                                std::string display_name = "");
 
     const std::string &name() const override { return displayName; }
 
-    /** Replays the file; each call opens a fresh reader. */
+    /**
+     * Replays the file; each call opens a fresh reader. Throws
+     * std::runtime_error if the trace turns out to be truncated or
+     * corrupt mid-replay (recoverable by SuiteRunner cell isolation).
+     */
     void run(InstructionSink &sink) override;
 
     /** @return records the header promises. */
     std::uint64_t numRecords() const { return records; }
 
   private:
+    TraceFileWorkload(std::string path, std::string display_name,
+                      std::uint64_t records);
+
     std::string path;
     std::string displayName;
-    std::uint64_t records;
+    std::uint64_t records = 0;
 };
 
 } // namespace cachescope

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Streaming 64-bit checksum for trace-file integrity.
+ *
+ * FNV-1a over the byte stream with an xxhash-style avalanche finisher,
+ * so single-bit flips anywhere in a multi-gigabyte trace change the
+ * digest with overwhelming probability. Not cryptographic — it guards
+ * against truncation and bit rot, not adversaries.
+ */
+
+#ifndef CACHESCOPE_UTIL_CHECKSUM_HH
+#define CACHESCOPE_UTIL_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cachescope {
+
+class Checksum64
+{
+  public:
+    void
+    update(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        std::uint64_t h = state;
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ull; // FNV-1a prime
+        }
+        state = h;
+    }
+
+    /** @return the digest of everything update()d so far. */
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = state;
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+        h *= 0xc4ceb9fe1a85ec53ull;
+        h ^= h >> 33;
+        return h;
+    }
+
+    void reset() { state = kSeed; }
+
+  private:
+    static constexpr std::uint64_t kSeed = 0xcbf29ce484222325ull;
+    std::uint64_t state = kSeed;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_CHECKSUM_HH

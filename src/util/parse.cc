@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict numeric parsing implementation.
+ */
+
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace cachescope {
+
+Expected<std::uint64_t>
+parseU64(const std::string &text)
+{
+    if (text.empty())
+        return invalidArgumentError("expected an unsigned integer, got ''");
+    // strtoull tolerates leading whitespace and a sign (it even wraps
+    // negatives); forbid both so "-1" and " 7" are rejected.
+    if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+        return invalidArgumentError(
+            "expected an unsigned integer, got '%s'", text.c_str());
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE) {
+        return invalidArgumentError("value '%s' is out of range",
+                                    text.c_str());
+    }
+    if (end != text.c_str() + text.size()) {
+        return invalidArgumentError(
+            "trailing garbage in integer '%s'", text.c_str());
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace cachescope

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Strict string-to-number parsing for user-supplied values.
+ *
+ * std::strtoull silently returns 0 for garbage and accepts trailing
+ * junk ("12abc" -> 12), so a typo like `--measure 5OOOOOO` used to run
+ * a 5-instruction simulation without complaint. These helpers reject
+ * anything that is not exactly one non-negative integer.
+ */
+
+#ifndef CACHESCOPE_UTIL_PARSE_HH
+#define CACHESCOPE_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hh"
+
+namespace cachescope {
+
+/**
+ * Parse @p text as a base-10 unsigned 64-bit integer.
+ *
+ * Rejects empty strings, signs, whitespace, trailing garbage, and
+ * out-of-range values.
+ */
+Expected<std::uint64_t> parseU64(const std::string &text);
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_PARSE_HH

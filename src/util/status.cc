@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status implementation: code names and printf-style constructors.
+ */
+
+#include "util/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace cachescope {
+
+namespace {
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed <= 0)
+        return "";
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+} // anonymous namespace
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid_argument";
+      case StatusCode::NotFound: return "not_found";
+      case StatusCode::IoError: return "io_error";
+      case StatusCode::Corruption: return "corruption";
+      case StatusCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+#define CS_STATUS_CTOR(fn, code)                                          \
+    Status fn(const char *fmt, ...)                                       \
+    {                                                                     \
+        std::va_list args;                                                \
+        va_start(args, fmt);                                              \
+        std::string msg = vformat(fmt, args);                             \
+        va_end(args);                                                     \
+        return Status(StatusCode::code, std::move(msg));                  \
+    }
+
+CS_STATUS_CTOR(invalidArgumentError, InvalidArgument)
+CS_STATUS_CTOR(notFoundError, NotFound)
+CS_STATUS_CTOR(ioError, IoError)
+CS_STATUS_CTOR(corruptionError, Corruption)
+CS_STATUS_CTOR(internalError, Internal)
+
+#undef CS_STATUS_CTOR
+
+} // namespace cachescope

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Recoverable-error types.
+ *
+ * The logging layer's fatal()/panic() terminate the process, which is
+ * the right call for internal invariants but not for user input: a
+ * mistyped policy name or a truncated trace file must not kill a sweep
+ * that has hours of completed cells behind it. Library code that
+ * validates user input therefore reports failures through Status (an
+ * error code plus a human-readable message) or Expected<T> (a value or
+ * a Status), and only the outermost layer decides whether to abort,
+ * retry, or record the failure and move on.
+ */
+
+#ifndef CACHESCOPE_UTIL_STATUS_HH
+#define CACHESCOPE_UTIL_STATUS_HH
+
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+/** Coarse classification of recoverable failures. */
+enum class StatusCode
+{
+    Ok = 0,
+    /** Malformed user input: bad flag value, invalid geometry, ... */
+    InvalidArgument,
+    /** A name was not found in a registry (policy, workload, suite). */
+    NotFound,
+    /** The operating system refused an open/read/write/close. */
+    IoError,
+    /** Data failed an integrity check (bad magic, checksum, count). */
+    Corruption,
+    /** An escaped exception or other internal failure. */
+    Internal,
+};
+
+/** @return a stable lowercase name for @p code ("io_error", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * An error code plus message. Default-constructed Status is success.
+ *
+ * Marked [[nodiscard]] so dropped errors are compile-time visible.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** @return "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** printf-style constructors for each error code. */
+Status invalidArgumentError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status notFoundError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status ioError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status corruptionError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status internalError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * A value of type T or the Status explaining why there is none.
+ *
+ * T must be default-constructible and movable (true of every type this
+ * codebase returns: smart pointers, integers, vectors).
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    /** Success (implicit, so `return value;` works). */
+    Expected(T value) : value_(std::move(value)) {}
+
+    /** Failure (implicit, so `return someStatus;` works). */
+    Expected(Status status) : status_(std::move(status))
+    {
+        CS_ASSERT(!status_.ok(), "Expected built from an OK status");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &value() const
+    {
+        CS_ASSERT(ok(), "value() on an errored Expected");
+        return value_;
+    }
+
+    T &value()
+    {
+        CS_ASSERT(ok(), "value() on an errored Expected");
+        return value_;
+    }
+
+    /** Move the value out (the Expected is dead afterwards). */
+    T take()
+    {
+        CS_ASSERT(ok(), "take() on an errored Expected");
+        return std::move(value_);
+    }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+/** Propagate a non-OK Status out of the enclosing function. */
+#define CS_TRY(expr)                                                      \
+    do {                                                                  \
+        ::cachescope::Status cs_try_status_ = (expr);                     \
+        if (!cs_try_status_.ok())                                         \
+            return cs_try_status_;                                        \
+    } while (0)
+
+#define CS_TRY_CONCAT_(a, b) a##b
+#define CS_TRY_CONCAT(a, b) CS_TRY_CONCAT_(a, b)
+
+/**
+ * Evaluate @p expr (an Expected<T>); on error return its Status, on
+ * success move the value into @p lhs (a declaration or an lvalue).
+ *
+ *   CS_TRY_ASSIGN(auto reader, TraceReader::open(path));
+ */
+#define CS_TRY_ASSIGN(lhs, expr)                                          \
+    CS_TRY_ASSIGN_IMPL_(CS_TRY_CONCAT(cs_try_exp_, __COUNTER__), lhs,     \
+                        expr)
+
+#define CS_TRY_ASSIGN_IMPL_(tmp, lhs, expr)                               \
+    auto tmp = (expr);                                                    \
+    if (!tmp.ok())                                                        \
+        return tmp.status();                                              \
+    lhs = tmp.take()
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_STATUS_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the checkpoint journal and sweep resumability: journal
+ * round trips, rejection of foreign files, tolerance of kill-mid-write
+ * wreckage, and the end-to-end "run, crash, resume" flow where only the
+ * unfinished cells are simulated again.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cascade_lake.hh"
+#include "harness/checkpoint.hh"
+#include "harness/experiment.hh"
+#include "trace/pc_site.hh"
+#include "trace/traced_memory.hh"
+
+namespace cachescope {
+namespace {
+
+std::string
+tempJournalPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/cachescope_" + tag +
+           ".ckpt";
+}
+
+CellOutcome
+makeOutcome(const std::string &workload, const std::string &policy,
+            std::uint64_t cycles)
+{
+    CellOutcome outcome;
+    outcome.workload = workload;
+    outcome.policy = policy;
+    outcome.ok = true;
+    outcome.attempts = 1;
+    outcome.wallMs = 12.5;
+    outcome.result.llcPolicy = policy;
+    outcome.result.core.instructions = 1000;
+    outcome.result.core.cycles = cycles;
+    outcome.result.llc.hits[static_cast<int>(AccessType::Load)] = 40;
+    outcome.result.llc.misses[static_cast<int>(AccessType::Load)] = 60;
+    outcome.result.llc.hits[static_cast<int>(AccessType::Store)] = 7;
+    outcome.result.llc.misses[static_cast<int>(AccessType::Store)] = 3;
+    return outcome;
+}
+
+TEST(CheckpointJournal, RoundTripsCompletedCells)
+{
+    const std::string path = tempJournalPath("roundtrip");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        EXPECT_EQ(journal.completedCells(), 0u);
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 2000)).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "ship", 1500)).ok());
+        EXPECT_EQ(journal.completedCells(), 2u);
+    }
+
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 2u);
+    const CellOutcome *cell = resumed.find("bfs", "ship");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(cell->ok);
+    EXPECT_EQ(cell->result.core.cycles, 1500u);
+    EXPECT_EQ(cell->result.core.instructions, 1000u);
+    EXPECT_EQ(cell->result.llcPolicy, "ship");
+    EXPECT_EQ(cell->result.llc.hitsOf(AccessType::Load), 40u);
+    EXPECT_EQ(cell->result.llc.missesOf(AccessType::Store), 3u);
+    EXPECT_DOUBLE_EQ(cell->result.ipc(), 1000.0 / 1500.0);
+    EXPECT_EQ(resumed.find("bfs", "nope"), nullptr);
+    EXPECT_EQ(resumed.find("pr", "lru"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, RefusesForeignFiles)
+{
+    const std::string path = tempJournalPath("foreign");
+    {
+        std::ofstream out(path);
+        out << "important lab notes, definitely not a journal\n";
+    }
+    CheckpointJournal journal;
+    const Status s = journal.open(path);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    // The original file must survive the refusal.
+    std::ifstream in(path);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line, "important lab notes, definitely not a journal");
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, ToleratesKillMidAppend)
+{
+    const std::string path = tempJournalPath("ragged");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 2000)).ok());
+    }
+    // Simulate a kill mid-append: a truncated trailing line.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "pr\tlru\t1\t9";
+    }
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 1u); // ragged line dropped
+    EXPECT_NE(resumed.find("bfs", "lru"), nullptr);
+    EXPECT_EQ(resumed.find("pr", "lru"), nullptr);
+    // The journal stays appendable after recovery.
+    ASSERT_TRUE(resumed.append(makeOutcome("pr", "lru", 800)).ok());
+    resumed.close();
+
+    CheckpointJournal third;
+    ASSERT_TRUE(third.open(path).ok());
+    EXPECT_EQ(third.completedCells(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, RefusesToRecordFailures)
+{
+    const std::string path = tempJournalPath("nofail");
+    std::remove(path.c_str());
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    CellOutcome failed = makeOutcome("bfs", "lru", 2000);
+    failed.ok = false;
+    failed.error = "exploded";
+    EXPECT_FALSE(journal.append(failed).ok());
+    EXPECT_EQ(journal.completedCells(), 0u);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ sweep resume --
+
+/** Deterministic cheap workload that counts how often it is run. */
+class CountingWorkload : public Workload
+{
+  public:
+    CountingWorkload(std::string tag, std::atomic<int> &runs)
+        : displayName(std::move(tag)), runs(runs)
+    {}
+
+    const std::string &name() const override { return displayName; }
+
+    void
+    run(InstructionSink &sink) override
+    {
+        ++runs;
+        AddressSpace space;
+        TracedArray<std::uint64_t> data(4096, space, sink, 1);
+        PcRegion region(91);
+        const Pc pc = region.allocate();
+        for (std::uint64_t i = 0; sink.wantsMore(); ++i)
+            data.load((i * 8) % data.size(), pc);
+        sink.onEnd();
+    }
+
+  private:
+    std::string displayName;
+    std::atomic<int> &runs;
+};
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg = cascadeLakeConfig("lru", /*warmup=*/2'000,
+                                      /*measure=*/20'000);
+    cfg.hierarchy.llc.sizeBytes = 64 * 1024;
+    cfg.hierarchy.llc.numWays = 8;
+    cfg.core.simulateFetch = false;
+    return cfg;
+}
+
+TEST(CheckpointResume, SecondRunSkipsCompletedCells)
+{
+    const std::string path = tempJournalPath("resume");
+    std::remove(path.c_str());
+    std::atomic<int> runs{0};
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<CountingWorkload>("count.a", runs),
+        std::make_shared<CountingWorkload>("count.b", runs),
+    };
+    const std::vector<std::string> policies = {"lru", "srrip"};
+
+    SweepReport first;
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        SuiteRunner runner(tinyConfig(), 2);
+        runner.setVerbose(false);
+        runner.setCheckpoint(&journal);
+        first = runner.runChecked(suite, policies);
+    }
+    EXPECT_EQ(first.executed, 4u);
+    EXPECT_EQ(runs.load(), 4);
+    EXPECT_TRUE(first.allOk());
+
+    // "Crash" and resume: a fresh journal object on the same file.
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    EXPECT_EQ(journal.completedCells(), 4u);
+    SuiteRunner runner(tinyConfig(), 2);
+    runner.setVerbose(false);
+    runner.setCheckpoint(&journal);
+    const SweepReport second = runner.runChecked(suite, policies);
+
+    EXPECT_EQ(second.executed, 0u); // nothing re-simulated
+    EXPECT_EQ(runs.load(), 4);
+    ASSERT_EQ(second.outcomes.size(), 4u);
+    for (const CellOutcome &cell : second.outcomes) {
+        EXPECT_TRUE(cell.ok);
+        EXPECT_TRUE(cell.fromCheckpoint);
+    }
+    // Restored results carry the stats reporting needs.
+    const SimResult &restored = second.results.at("count.a").at("lru");
+    const SimResult &fresh = first.results.at("count.a").at("lru");
+    EXPECT_EQ(restored.core.cycles, fresh.core.cycles);
+    EXPECT_EQ(restored.llc.demandMisses(), fresh.llc.demandMisses());
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, PartialJournalRunsOnlyTheMissingCells)
+{
+    const std::string path = tempJournalPath("partial");
+    std::remove(path.c_str());
+    std::atomic<int> runs{0};
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<CountingWorkload>("count.a", runs),
+        std::make_shared<CountingWorkload>("count.b", runs),
+    };
+
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        SuiteRunner runner(tinyConfig(), 1);
+        runner.setVerbose(false);
+        runner.setCheckpoint(&journal);
+        runner.runChecked(suite, {"lru"});
+    }
+    EXPECT_EQ(runs.load(), 2);
+
+    // The resumed sweep widens the policy grid: only the new column
+    // should be simulated.
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    SuiteRunner runner(tinyConfig(), 1);
+    runner.setVerbose(false);
+    runner.setCheckpoint(&journal);
+    const SweepReport report = runner.runChecked(suite, {"lru", "srrip"});
+    EXPECT_EQ(report.executed, 2u);
+    EXPECT_EQ(runs.load(), 4);
+    EXPECT_EQ(report.outcomes.size(), 4u);
+    EXPECT_TRUE(report.allOk());
+    EXPECT_EQ(journal.completedCells(), 4u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cachescope

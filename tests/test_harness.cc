@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "core/cascade_lake.hh"
 #include "harness/experiment.hh"
@@ -171,6 +172,135 @@ TEST(Harness, PaperPolicyListIsThePaperSix)
     EXPECT_EQ(policies[3], "hawkeye");
     for (const auto &p : policies)
         EXPECT_TRUE(ReplacementPolicyFactory::isRegistered(p)) << p;
+}
+
+// ---------------------------------------------------- fault isolation --
+
+/** A workload that always throws partway into its run. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    const std::string &name() const override { return displayName; }
+
+    void
+    run(InstructionSink &sink) override
+    {
+        sink.onInstruction(TraceRecord::alu(1));
+        throw std::runtime_error("simulated segfault in kernel");
+    }
+
+  private:
+    std::string displayName = "exploder";
+};
+
+/** Throws on the first @p failures runs, then behaves like mini. */
+class FlakyWorkload : public Workload
+{
+  public:
+    explicit FlakyWorkload(int failures) : failuresLeft(failures) {}
+
+    const std::string &name() const override { return displayName; }
+
+    void
+    run(InstructionSink &sink) override
+    {
+        if (failuresLeft-- > 0)
+            throw std::runtime_error("transient failure");
+        MiniWorkload("mini").run(sink);
+    }
+
+  private:
+    int failuresLeft;
+    std::string displayName = "flaky";
+};
+
+TEST(Harness, RunCheckedIsolatesBadPolicyAndThrowingWorkload)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini"),
+        std::make_shared<ThrowingWorkload>(),
+    };
+    SuiteRunner runner(testConfig(), /*jobs=*/2);
+    runner.setVerbose(false);
+    const SweepReport report =
+        runner.runChecked(suite, {"lru", "nosuch_policy"});
+
+    ASSERT_EQ(report.outcomes.size(), 4u);
+    EXPECT_EQ(report.failed(), 3u);
+    EXPECT_FALSE(report.allOk());
+    EXPECT_EQ(report.executed, 4u);
+
+    // The one healthy cell completed normally despite its neighbours.
+    ASSERT_EQ(report.results.size(), 1u);
+    ASSERT_TRUE(report.results.count("mini"));
+    ASSERT_TRUE(report.results.at("mini").count("lru"));
+    EXPECT_GT(report.results.at("mini").at("lru").ipc(), 0.0);
+
+    for (const CellOutcome &cell : report.outcomes) {
+        if (cell.workload == "mini" && cell.policy == "lru") {
+            EXPECT_TRUE(cell.ok);
+            EXPECT_EQ(cell.attempts, 1u);
+            EXPECT_TRUE(cell.error.empty());
+            continue;
+        }
+        EXPECT_FALSE(cell.ok) << cell.workload << "/" << cell.policy;
+        EXPECT_FALSE(cell.error.empty());
+        if (cell.policy == "nosuch_policy") {
+            // Rejected by validation before any simulation ran.
+            EXPECT_EQ(cell.attempts, 0u);
+            EXPECT_NE(cell.error.find("unknown replacement policy"),
+                      std::string::npos);
+        } else {
+            EXPECT_NE(cell.error.find("simulated segfault"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(Harness, RetriesAbsorbTransientFailures)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<FlakyWorkload>(/*failures=*/1),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    runner.setRetries(1);
+    const SweepReport report = runner.runChecked(suite, {"lru"});
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 2u);
+    EXPECT_TRUE(report.allOk());
+}
+
+TEST(Harness, WithoutRetriesTransientFailureFailsTheCell)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<FlakyWorkload>(/*failures=*/1),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    const SweepReport report = runner.runChecked(suite, {"lru"});
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_FALSE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 1u);
+    EXPECT_NE(report.outcomes[0].error.find("transient failure"),
+              std::string::npos);
+}
+
+TEST(Harness, LegacyRunReturnsTheSurvivors)
+{
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini"),
+        std::make_shared<ThrowingWorkload>(),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    ::testing::internal::CaptureStderr();
+    const SweepResults results = runner.run(suite, {"lru"});
+    const std::string log = ::testing::internal::GetCapturedStderr();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results.count("mini"));
+    EXPECT_NE(log.find("exploder"), std::string::npos);
 }
 
 } // namespace

@@ -170,7 +170,7 @@ TEST(Integration, TraceRoundTripReproducesSimulation)
 
     Simulator replay_sim(fastConfig("drrip"));
     TraceReader reader(path);
-    reader.replayInto(replay_sim);
+    ASSERT_TRUE(reader.replayInto(replay_sim).ok());
 
     EXPECT_EQ(live_sim.result().core.cycles,
               replay_sim.result().core.cycles);

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the recoverable-error layer: Status/Expected, CS_TRY
+ * propagation, strict numeric parsing, the trace checksum, and the
+ * configuration/factory validation paths built on top of them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/cascade_lake.hh"
+#include "harness/workload_zoo.hh"
+#include "prefetch/prefetcher.hh"
+#include "replacement/replacement_policy.hh"
+#include "util/checksum.hh"
+#include "util/parse.hh"
+#include "util/status.hh"
+
+namespace cachescope {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, ConstructorsFormatAndClassify)
+{
+    Status s = ioError("cannot open '%s' (%d)", "x.trace", 7);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+    EXPECT_EQ(s.message(), "cannot open 'x.trace' (7)");
+    EXPECT_EQ(s.toString(), "io_error: cannot open 'x.trace' (7)");
+
+    EXPECT_EQ(notFoundError("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(invalidArgumentError("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(corruptionError("x").code(), StatusCode::Corruption);
+    EXPECT_EQ(internalError("x").code(), StatusCode::Internal);
+}
+
+TEST(Expected, HoldsValueOrStatus)
+{
+    Expected<int> good(41);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 41);
+    EXPECT_EQ(*good + 1, 42);
+
+    Expected<int> bad(notFoundError("no such number"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::NotFound);
+}
+
+Status
+failsWhenNegative(int x)
+{
+    if (x < 0)
+        return invalidArgumentError("negative: %d", x);
+    return Status();
+}
+
+Status
+propagates(int x, bool *reached_end)
+{
+    CS_TRY(failsWhenNegative(x));
+    *reached_end = true;
+    return Status();
+}
+
+TEST(Expected, CsTryPropagatesErrors)
+{
+    bool reached = false;
+    EXPECT_TRUE(propagates(1, &reached).ok());
+    EXPECT_TRUE(reached);
+
+    reached = false;
+    Status s = propagates(-3, &reached);
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(reached);
+    EXPECT_EQ(s.message(), "negative: -3");
+}
+
+Expected<int>
+half(int x)
+{
+    if (x % 2 != 0)
+        return invalidArgumentError("%d is odd", x);
+    return x / 2;
+}
+
+Status
+quarter(int x, int *out)
+{
+    CS_TRY_ASSIGN(const int h, half(x));
+    CS_TRY_ASSIGN(*out, half(h));
+    return Status();
+}
+
+TEST(Expected, CsTryAssignUnwrapsOrPropagates)
+{
+    int out = 0;
+    EXPECT_TRUE(quarter(8, &out).ok());
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(quarter(6, &out).ok()); // 6/2 = 3 is odd
+    EXPECT_FALSE(quarter(7, &out).ok());
+}
+
+TEST(ParseU64, AcceptsPlainIntegers)
+{
+    EXPECT_EQ(parseU64("0").value(), 0u);
+    EXPECT_EQ(parseU64("5000000").value(), 5'000'000u);
+    EXPECT_EQ(parseU64("18446744073709551615").value(),
+              18446744073709551615ull);
+}
+
+TEST(ParseU64, RejectsGarbage)
+{
+    EXPECT_FALSE(parseU64("").ok());
+    EXPECT_FALSE(parseU64("abc").ok());
+    EXPECT_FALSE(parseU64("12abc").ok());   // trailing garbage
+    EXPECT_FALSE(parseU64("5OOOOOO").ok()); // the classic typo
+    EXPECT_FALSE(parseU64("-1").ok());
+    EXPECT_FALSE(parseU64(" 7").ok());
+    EXPECT_FALSE(parseU64("7 ").ok());
+    EXPECT_FALSE(parseU64("1.5").ok());
+    EXPECT_FALSE(parseU64("18446744073709551616").ok()); // 2^64
+}
+
+TEST(Checksum64, DeterministicAndBitSensitive)
+{
+    const char data[] = "the quick brown fox";
+    Checksum64 a, b;
+    a.update(data, sizeof(data));
+    b.update(data, sizeof(data));
+    EXPECT_EQ(a.digest(), b.digest());
+
+    // Streaming in two chunks matches one-shot hashing.
+    Checksum64 c;
+    c.update(data, 5);
+    c.update(data + 5, sizeof(data) - 5);
+    EXPECT_EQ(c.digest(), a.digest());
+
+    char flipped[sizeof(data)];
+    std::memcpy(flipped, data, sizeof(data));
+    flipped[7] ^= 0x01;
+    Checksum64 d;
+    d.update(flipped, sizeof(flipped));
+    EXPECT_NE(d.digest(), a.digest());
+
+    d.reset();
+    d.update(data, sizeof(data));
+    EXPECT_EQ(d.digest(), a.digest());
+}
+
+// ------------------------------------------------- config validation --
+
+TEST(SimConfigValidate, AcceptsThePaperConfiguration)
+{
+    const SimConfig cfg = cascadeLakeConfig("hawkeye", 1000, 10'000);
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(SimConfigValidate, RejectsUnknownPolicy)
+{
+    SimConfig cfg = cascadeLakeConfig("lru", 1000, 10'000);
+    cfg.hierarchy.llc.replacement = "quantum_lru";
+    const Status s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_NE(s.message().find("quantum_lru"), std::string::npos);
+}
+
+TEST(SimConfigValidate, RejectsZeroWays)
+{
+    SimConfig cfg = cascadeLakeConfig("lru", 1000, 10'000);
+    cfg.hierarchy.l2.numWays = 0;
+    const Status s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+}
+
+TEST(SimConfigValidate, RejectsNonPowerOfTwoGeometry)
+{
+    SimConfig cfg = cascadeLakeConfig("lru", 1000, 10'000);
+    // 48 KB / 64 B / 8 ways = 96 sets: not a power of two.
+    cfg.hierarchy.l1d.sizeBytes = 48 * 1024;
+    cfg.hierarchy.l1d.numWays = 8;
+    const Status s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("power of two"), std::string::npos);
+}
+
+TEST(SimConfigValidate, RejectsNonPowerOfTwoBlockSize)
+{
+    SimConfig cfg = cascadeLakeConfig("lru", 1000, 10'000);
+    cfg.hierarchy.llc.blockBytes = 48;
+    EXPECT_FALSE(cfg.validate().ok());
+}
+
+TEST(SimConfigValidate, RejectsUnknownPrefetcher)
+{
+    SimConfig cfg = cascadeLakeConfig("lru", 1000, 10'000);
+    cfg.hierarchy.l2.prefetcher = "warp_drive";
+    const Status s = cfg.validate();
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("warp_drive"), std::string::npos);
+}
+
+// ------------------------------------------------- factory try-paths --
+
+TEST(TryFactories, PolicyLookupReportsUnknownNames)
+{
+    const CacheGeometry geom{64, 8, 64};
+    auto known = ReplacementPolicyFactory::tryCreate("lru", geom);
+    ASSERT_TRUE(known.ok());
+    EXPECT_NE(known.value(), nullptr);
+    EXPECT_EQ(known.value()->name(), "lru");
+
+    auto unknown = ReplacementPolicyFactory::tryCreate("nope", geom);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::NotFound);
+
+    auto empty = ReplacementPolicyFactory::tryCreate(
+        "lru", CacheGeometry{0, 0, 64});
+    EXPECT_FALSE(empty.ok());
+}
+
+TEST(TryFactories, PrefetcherLookup)
+{
+    EXPECT_TRUE(tryMakePrefetcher("none").ok());
+    EXPECT_EQ(tryMakePrefetcher("none").value(), nullptr);
+    EXPECT_TRUE(tryMakePrefetcher("stride").ok());
+    EXPECT_FALSE(tryMakePrefetcher("warp_drive").ok());
+
+    EXPECT_TRUE(isKnownPrefetcher(""));
+    EXPECT_TRUE(isKnownPrefetcher("none"));
+    EXPECT_TRUE(isKnownPrefetcher("streamer"));
+    EXPECT_FALSE(isKnownPrefetcher("warp_drive"));
+}
+
+TEST(TryFactories, WorkloadZooLookup)
+{
+    ZooOptions options;
+    options.synthMainBytes = 64 * 1024;
+    auto known = tryMakeNamedWorkload("small_ws", options);
+    ASSERT_TRUE(known.ok());
+    EXPECT_NE(known.value(), nullptr);
+
+    auto unknown = tryMakeNamedWorkload("quicksort", options);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::NotFound);
+    EXPECT_NE(unknown.status().message().find("quicksort"),
+              std::string::npos);
+
+    EXPECT_FALSE(tryMakeNamedSuite("spec2038").ok());
+    EXPECT_TRUE(tryMakeNamedSuite("spec06").ok());
+}
+
+} // namespace
+} // namespace cachescope

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "test_helpers.hh"
 #include "trace/pc_site.hh"
@@ -83,8 +84,10 @@ TEST(TraceIo, RoundTrip)
 
     TraceReader reader(path);
     EXPECT_EQ(reader.numRecords(), originals.size());
+    EXPECT_EQ(reader.version(), TraceFileHeader::kVersion);
     VectorSink sink;
-    const std::uint64_t replayed = reader.replayInto(sink);
+    std::uint64_t replayed = 0;
+    EXPECT_TRUE(reader.replayInto(sink, &replayed).ok());
     EXPECT_EQ(replayed, originals.size());
     ASSERT_EQ(sink.records.size(), originals.size());
     for (std::size_t i = 0; i < originals.size(); ++i)
@@ -102,6 +105,226 @@ TEST(TraceIo, WriterFinalizesOnDestruction)
     }
     TraceReader reader(path);
     EXPECT_EQ(reader.numRecords(), 1u);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------ recoverable error paths --
+
+/** Mirror of trace_io.cc's on-disk record layout, for fixture forging. */
+struct RawDiskRecord
+{
+    std::uint64_t pc = 0;
+    std::uint64_t addr = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t size = 0;
+    std::uint8_t pad[6] = {};
+};
+static_assert(sizeof(RawDiskRecord) == 24, "fixture layout drifted");
+
+/** Write a 4-record trace and return its path. */
+std::string
+writeSmallTrace(const char *tag)
+{
+    const std::string path = tempTracePath(tag);
+    TraceWriter writer(path);
+    for (int i = 0; i < 4; ++i)
+        writer.onInstruction(TraceRecord::load(0x400000 + 4 * i, 64 * i));
+    writer.onEnd();
+    return path;
+}
+
+/** Truncate (or leave) the file at @p bytes. */
+void
+resizeFile(const std::string &path, std::size_t bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> contents(bytes);
+    ASSERT_EQ(std::fread(contents.data(), 1, bytes, f), bytes);
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(contents.data(), 1, bytes, f), bytes);
+    std::fclose(f);
+}
+
+/** XOR one byte of the file in place. */
+void
+flipByte(const std::string &path, long offset)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+}
+
+TEST(TraceIoStatus, OpenReportsMissingFile)
+{
+    auto reader = TraceReader::open("/nonexistent/path/x.trace");
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::IoError);
+    EXPECT_NE(reader.status().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceIoStatus, OpenReportsBadMagic)
+{
+    const std::string path = tempTracePath("status_garbage");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a trace, it is a potato", f);
+    std::fclose(f);
+    auto reader = TraceReader::open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::Corruption);
+    EXPECT_NE(reader.status().message().find("bad magic"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, OpenReportsUnsupportedVersion)
+{
+    const std::string path = tempTracePath("status_badver");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    TraceFileHeader hdr;
+    hdr.version = 99;
+    std::fwrite(&hdr, sizeof(hdr), 1, f);
+    std::fclose(f);
+    auto reader = TraceReader::open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(reader.status().message().find("version 99"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, TruncatedMidRecordIsReported)
+{
+    const std::string path = writeSmallTrace("status_midrec");
+    // Header + 2 full records + 11 stray bytes of the third.
+    resizeFile(path, TraceFileHeader::kV2Bytes + 2 * 24 + 11);
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    VectorSink sink;
+    std::uint64_t replayed = 0;
+    const Status s = reader.value()->replayInto(sink, &replayed);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    // The diagnostic names the expected and actual record counts.
+    EXPECT_NE(s.message().find("expected 4"), std::string::npos);
+    EXPECT_NE(s.message().find("2 complete records"), std::string::npos);
+    EXPECT_EQ(replayed, 2u); // the complete prefix was delivered
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, RecordCountMismatchIsReported)
+{
+    const std::string path = writeSmallTrace("status_count");
+    // Cut cleanly at a record boundary: indistinguishable from EOF
+    // without the header cross-check.
+    resizeFile(path, TraceFileHeader::kV2Bytes + 3 * 24);
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    VectorSink sink;
+    const Status s = reader.value()->replayInto(sink);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_NE(s.message().find("expected 4"), std::string::npos);
+    EXPECT_NE(s.message().find("holds 3"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, ChecksumMismatchIsReported)
+{
+    const std::string path = writeSmallTrace("status_bitrot");
+    // Flip a bit inside the second record's address field: the record
+    // still parses, so only the checksum can catch it.
+    flipByte(path,
+             static_cast<long>(TraceFileHeader::kV2Bytes + 24 + 8));
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    VectorSink sink;
+    const Status s = reader.value()->replayInto(sink);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Corruption);
+    EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, V1TracesRemainReadable)
+{
+    const std::string path = tempTracePath("status_v1");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // A v1 header is the 16-byte prefix only: magic, version, count.
+    const std::uint32_t magic = TraceFileHeader::kMagic;
+    const std::uint32_t version = TraceFileHeader::kVersionV1;
+    const std::uint64_t count = 2;
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&count, sizeof(count), 1, f);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        RawDiskRecord rec;
+        rec.pc = 0x400000 + 4 * i;
+        rec.addr = 64 * i;
+        rec.kind = static_cast<std::uint8_t>(InstKind::Load);
+        rec.size = 8;
+        std::fwrite(&rec, sizeof(rec), 1, f);
+    }
+    std::fclose(f);
+
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.value()->version(), TraceFileHeader::kVersionV1);
+    EXPECT_EQ(reader.value()->numRecords(), count);
+    VectorSink sink;
+    std::uint64_t replayed = 0;
+    EXPECT_TRUE(reader.value()->replayInto(sink, &replayed).ok());
+    EXPECT_EQ(replayed, count);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, V1TruncationStillDetectedViaRecordCount)
+{
+    const std::string path = tempTracePath("status_v1_short");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    const std::uint32_t magic = TraceFileHeader::kMagic;
+    const std::uint32_t version = TraceFileHeader::kVersionV1;
+    const std::uint64_t count = 5; // promises 5, delivers 1
+    std::fwrite(&magic, sizeof(magic), 1, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fwrite(&count, sizeof(count), 1, f);
+    RawDiskRecord rec;
+    rec.kind = static_cast<std::uint8_t>(InstKind::Alu);
+    std::fwrite(&rec, sizeof(rec), 1, f);
+    std::fclose(f);
+
+    auto reader = TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    VectorSink sink;
+    EXPECT_EQ(reader.value()->replayInto(sink).code(),
+              StatusCode::Corruption);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoStatus, WriterOpenReportsBadPath)
+{
+    auto writer = TraceWriter::open("/nonexistent/dir/out.trace");
+    ASSERT_FALSE(writer.ok());
+    EXPECT_EQ(writer.status().code(), StatusCode::IoError);
+}
+
+TEST(TraceIoStatus, WriterFinishReportsSuccess)
+{
+    const std::string path = tempTracePath("status_finish");
+    auto writer = TraceWriter::open(path);
+    ASSERT_TRUE(writer.ok());
+    writer.value()->onInstruction(TraceRecord::alu(1));
+    EXPECT_TRUE(writer.value()->finish().ok());
+    EXPECT_EQ(writer.value()->recordsWritten(), 1u);
     std::remove(path.c_str());
 }
 

@@ -12,6 +12,10 @@
  *
  * Run `cachescope <subcommand> --help` (or no arguments) for the
  * option list.
+ *
+ * Exit codes: 0 success; 1 bad input (flags, configuration, unusable
+ * trace); 2 a sweep finished but one or more cells failed (the table
+ * of successful cells and a failure summary are still printed).
  */
 
 #include <cstdio>
@@ -23,12 +27,14 @@
 #include <vector>
 
 #include "core/cascade_lake.hh"
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/workload_zoo.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 
 using namespace cachescope;
 
@@ -64,9 +70,14 @@ class Args
     getU64(const std::string &key, std::uint64_t fallback) const
     {
         auto it = values.find(key);
-        return it == values.end()
-            ? fallback
-            : std::strtoull(it->second.c_str(), nullptr, 10);
+        if (it == values.end())
+            return fallback;
+        auto parsed = parseU64(it->second);
+        if (!parsed.ok()) {
+            fatal("flag --%s: %s", key.c_str(),
+                  parsed.status().message().c_str());
+        }
+        return parsed.take();
     }
 
     bool has(const std::string &key) const { return values.count(key); }
@@ -120,13 +131,24 @@ int
 cmdRun(const Args &args)
 {
     const std::string policy = args.get("policy", "lru");
-    auto workload =
-        makeNamedWorkload(args.get("workload", "bfs"), zooOptionsFrom(args));
+    auto workload_or = tryMakeNamedWorkload(args.get("workload", "bfs"),
+                                            zooOptionsFrom(args));
+    if (!workload_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     workload_or.status().message().c_str());
+        return 1;
+    }
+    auto workload = workload_or.take();
+    const SimConfig cfg =
+        configFrom(args, policy == "belady" ? "lru" : policy);
+    if (Status valid = cfg.validate(); !valid.ok()) {
+        std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+        return 1;
+    }
     std::fprintf(stderr, "running %s under %s...\n",
                  workload->name().c_str(), policy.c_str());
-    const SimResult r = policy == "belady"
-        ? runBelady(*workload, configFrom(args, "lru"))
-        : runOne(*workload, configFrom(args, policy));
+    const SimResult r = policy == "belady" ? runBelady(*workload, cfg)
+                                           : runOne(*workload, cfg);
     printSimResult(r, std::cout);
     if (!r.llcPolicyState.empty()) {
         std::printf("llc policy state: %s\n",
@@ -138,8 +160,14 @@ cmdRun(const Args &args)
 int
 cmdSweep(const Args &args)
 {
-    auto suite = makeNamedSuite(args.get("suite", "gap"),
-                                zooOptionsFrom(args));
+    auto suite_or = tryMakeNamedSuite(args.get("suite", "gap"),
+                                      zooOptionsFrom(args));
+    if (!suite_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     suite_or.status().message().c_str());
+        return 1;
+    }
+    const auto suite = suite_or.take();
 
     std::vector<std::string> policies = {"lru"};
     {
@@ -160,8 +188,29 @@ cmdSweep(const Args &args)
 
     SuiteRunner runner(configFrom(args, "lru"),
                        static_cast<unsigned>(args.getU64("jobs", 0)));
-    const SweepResults results = runner.run(suite, policies);
+    runner.setRetries(static_cast<unsigned>(args.getU64("retries", 0)));
 
+    CheckpointJournal journal;
+    if (args.has("checkpoint")) {
+        const std::string path = args.get("checkpoint", "");
+        if (Status s = journal.open(path); !s.ok()) {
+            std::fprintf(stderr, "error: %s\n", s.message().c_str());
+            return 1;
+        }
+        if (journal.completedCells() > 0) {
+            std::fprintf(stderr,
+                         "resuming from '%s': %zu cell(s) already "
+                         "complete\n",
+                         path.c_str(), journal.completedCells());
+        }
+        runner.setCheckpoint(&journal);
+    }
+
+    const SweepReport report = runner.runChecked(suite, policies);
+    const SweepResults &results = report.results;
+
+    // Render every workload that produced at least one result; cells
+    // whose run failed (or whose LRU baseline is missing) print "-".
     std::vector<std::string> columns = {"workload", "lru_ipc"};
     for (std::size_t i = 1; i < policies.size(); ++i)
         columns.push_back(policies[i]);
@@ -169,10 +218,19 @@ cmdSweep(const Args &args)
     for (const auto &[workload, by_policy] : results) {
         table.newRow();
         table.addCell(workload);
-        table.addNumber(by_policy.at("lru").ipc(), 3);
+        const auto lru = by_policy.find("lru");
+        if (lru == by_policy.end())
+            table.addCell("-");
+        else
+            table.addNumber(lru->second.ipc(), 3);
         for (std::size_t i = 1; i < policies.size(); ++i) {
-            table.addNumber(by_policy.at(policies[i]).ipc() /
-                            by_policy.at("lru").ipc(), 4);
+            const auto p = by_policy.find(policies[i]);
+            if (p == by_policy.end() || lru == by_policy.end() ||
+                lru->second.ipc() <= 0.0) {
+                table.addCell("-");
+            } else {
+                table.addNumber(p->second.ipc() / lru->second.ipc(), 4);
+            }
         }
     }
     table.newRow();
@@ -181,6 +239,20 @@ cmdSweep(const Args &args)
     for (std::size_t i = 1; i < policies.size(); ++i)
         table.addNumber(geomeanSpeedup(results, policies[i]), 4);
     table.printAscii(std::cout);
+
+    if (!report.allOk()) {
+        std::fprintf(stderr, "\n%zu of %zu cell(s) FAILED:\n",
+                     report.failed(), report.outcomes.size());
+        for (const auto &outcome : report.outcomes) {
+            if (!outcome.ok) {
+                std::fprintf(stderr, "  %s/%s: %s\n",
+                             outcome.workload.c_str(),
+                             outcome.policy.c_str(),
+                             outcome.error.c_str());
+            }
+        }
+        return 2;
+    }
     return 0;
 }
 
@@ -189,10 +261,22 @@ cmdCapture(const Args &args)
 {
     const std::string path = args.get("out", "cachescope.trace");
     const std::uint64_t records = args.getU64("records", 10'000'000);
-    auto workload =
-        makeNamedWorkload(args.get("workload", "bfs"), zooOptionsFrom(args));
+    auto workload_or = tryMakeNamedWorkload(args.get("workload", "bfs"),
+                                            zooOptionsFrom(args));
+    if (!workload_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     workload_or.status().message().c_str());
+        return 1;
+    }
+    auto workload = workload_or.take();
 
-    TraceWriter writer(path);
+    auto writer_or = TraceWriter::open(path);
+    if (!writer_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     writer_or.status().message().c_str());
+        return 1;
+    }
+    TraceWriter &writer = *writer_or.value();
     struct Bounded : InstructionSink
     {
         Bounded(TraceWriter &writer, std::uint64_t budget)
@@ -206,13 +290,18 @@ cmdCapture(const Args &args)
         bool
         wantsMore() const override
         {
-            return out.recordsWritten() < budget;
+            // Stop producing on writer errors too (e.g. a full disk);
+            // finish() below reports the failure.
+            return out.status().ok() && out.recordsWritten() < budget;
         }
         TraceWriter &out;
         std::uint64_t budget;
     } sink(writer, records);
     workload->run(sink);
-    writer.onEnd();
+    if (Status s = writer.finish(); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        return 1;
+    }
     std::printf("wrote %llu records to %s\n",
                 static_cast<unsigned long long>(writer.recordsWritten()),
                 path.c_str());
@@ -223,9 +312,27 @@ int
 cmdReplay(const Args &args)
 {
     const std::string path = args.get("trace", "cachescope.trace");
-    Simulator sim(configFrom(args, args.get("policy", "lru")));
-    TraceReader reader(path);
-    const std::uint64_t replayed = reader.replayInto(sim);
+    const SimConfig cfg = configFrom(args, args.get("policy", "lru"));
+    if (Status valid = cfg.validate(); !valid.ok()) {
+        std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+        return 1;
+    }
+    auto reader_or = TraceReader::open(path);
+    if (!reader_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     reader_or.status().message().c_str());
+        return 1;
+    }
+    Simulator sim(cfg);
+    std::uint64_t replayed = 0;
+    if (Status s = reader_or.value()->replayInto(sim, &replayed);
+        !s.ok()) {
+        std::fprintf(stderr,
+                     "error: %s\n(no statistics printed: a partial "
+                     "replay would misreport the workload)\n",
+                     s.message().c_str());
+        return 1;
+    }
     std::fprintf(stderr, "replayed %llu records\n",
                  static_cast<unsigned long long>(replayed));
     printSimResult(sim.result(), std::cout);
@@ -247,7 +354,12 @@ usage()
         "\n"
         "common flags: --scale N --degree N --seed N --uniform\n"
         "              --warmup N --measure N --llc-kb N\n"
-        "              --prefetcher none|next_line|stride|streamer\n");
+        "              --prefetcher none|next_line|stride|streamer\n"
+        "sweep flags:  --jobs N --retries N --checkpoint FILE\n"
+        "              (--checkpoint resumes an interrupted sweep,\n"
+        "               skipping cells the journal says are complete)\n"
+        "\n"
+        "exit codes: 0 ok; 1 bad input; 2 sweep had failed cells\n");
 }
 
 } // anonymous namespace
