@@ -34,12 +34,15 @@ main()
     const auto suite = makeGapSuite(suite_cfg);
 
     Table table({"workload", "ways", "llc_kb", "llc_mpki", "ipc"});
+    bench::BenchMetrics metrics("abl_assoc");
     for (const auto &workload : suite) {
         for (std::uint32_t ways : ways_sweep) {
             SimConfig config = bench::sweepConfig("lru");
             config.hierarchy.llc.numWays = ways;
             config.hierarchy.llc.sizeBytes = capacity;
             const SimResult r = runOne(*workload, config);
+            metrics.add(r, workload->name() + ".ways" +
+                               std::to_string(ways));
             table.newRow();
             table.addCell(workload->name());
             table.addNumber(ways, 0);
@@ -52,5 +55,6 @@ main()
     }
 
     bench::emitTable(table, "abl_assoc");
+    metrics.emit();
     return 0;
 }

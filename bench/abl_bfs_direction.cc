@@ -40,6 +40,7 @@ main()
 
     Table table({"bfs_variant", "policy", "ipc", "speedup_vs_lru",
                  "l1d_mpki", "llc_mpki", "dram_ratio"});
+    bench::BenchMetrics metrics("abl_bfs_direction");
     for (const Variant &variant : variants) {
         GapKernelParams params;
         params.directionOptimizingBfs = variant.directionOptimizing;
@@ -48,6 +49,7 @@ main()
         for (const auto &policy : policies) {
             const SimResult r =
                 runOne(workload, bench::sweepConfig(policy));
+            metrics.add(r, std::string(variant.label) + "." + policy);
             if (policy == "lru")
                 lru_ipc = r.ipc();
             table.newRow();
@@ -64,5 +66,6 @@ main()
     }
 
     bench::emitTable(table, "abl_bfs_direction");
+    metrics.emit();
     return 0;
 }

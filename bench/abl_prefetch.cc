@@ -36,12 +36,14 @@ main()
 
     Table table({"workload", "prefetcher", "ipc", "speedup", "l2_mpki",
                  "pf_issued", "pf_accuracy"});
+    bench::BenchMetrics metrics("abl_prefetch");
     for (const auto &workload : suite) {
         double base_ipc = 0.0;
         for (const auto &pf : prefetchers) {
             SimConfig config = bench::sweepConfig("lru");
             config.hierarchy.l2.prefetcher = pf;
             const SimResult r = runOne(*workload, config);
+            metrics.add(r, workload->name() + "." + pf);
             if (pf == "none")
                 base_ipc = r.ipc();
             table.newRow();
@@ -63,5 +65,6 @@ main()
     }
 
     bench::emitTable(table, "abl_prefetch");
+    metrics.emit();
     return 0;
 }

@@ -82,9 +82,16 @@ main()
     Table table({"workload", "reuse_within_llc", "within_4x",
                  "within_16x", "within_64x", "lru_miss_ratio_at_llc",
                  "cold_fraction"});
+    bench::BenchMetrics metrics("abl_reuse");
     auto add = [&](const ProfiledRow &row) {
         const double total =
             static_cast<double>(row.reuses) + static_cast<double>(row.cold);
+        MetricsRegistry &reg = metrics.registry();
+        reg.setCounter(row.name + ".reuses", row.reuses);
+        reg.setCounter(row.name + ".cold_accesses", row.cold);
+        reg.setGauge(row.name + ".hit_ratio_at_llc", row.ratio_llc);
+        reg.setGauge(row.name + ".hit_ratio_at_64x", row.ratio_64x);
+        reg.addCounter("bench.profiles");
         table.newRow();
         table.addCell(row.name);
         table.addNumber(row.ratio_llc, 3);
@@ -120,5 +127,6 @@ main()
     }
 
     bench::emitTable(table, "abl_reuse");
+    metrics.emit();
     return 0;
 }

@@ -31,6 +31,7 @@ main()
 
     Table table({"scale", "property_mb", "workload", "policy",
                  "speedup_vs_lru", "llc_miss_reduction"});
+    bench::BenchMetrics metrics("abl_scale");
     for (unsigned scale : scales) {
         GapSuiteConfig cfg;
         cfg.scale = scale;
@@ -42,9 +43,13 @@ main()
         for (const auto &workload : suite) {
             const SimResult lru =
                 runOne(*workload, bench::sweepConfig("lru"));
+            const std::string scale_tag = "s" + std::to_string(scale);
+            metrics.add(lru, scale_tag + "." + workload->name() + ".lru");
             for (const auto &policy : policies) {
                 const SimResult r =
                     runOne(*workload, bench::sweepConfig(policy));
+                metrics.add(r, scale_tag + "." + workload->name() + "." +
+                                   policy);
                 table.newRow();
                 table.addCell(std::to_string(scale));
                 // Property array: one 8 B entry per vertex (BFS
@@ -67,5 +72,6 @@ main()
     }
 
     bench::emitTable(table, "abl_scale");
+    metrics.emit();
     return 0;
 }

@@ -11,7 +11,9 @@
 #ifndef CACHESCOPE_BENCH_BENCH_UTIL_HH
 #define CACHESCOPE_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,7 +22,10 @@
 
 #include "core/cascade_lake.hh"
 #include "graph/gap_suite.hh"
+#include "harness/experiment.hh"
+#include "stats/metrics.hh"
 #include "stats/table.hh"
+#include "util/logging.hh"
 #include "workloads/synthetic.hh"
 
 namespace cachescope::bench {
@@ -109,6 +114,78 @@ emitTable(const Table &table, const std::string &experiment_id)
         std::cout << "(csv written to " << path << ")\n";
     }
 }
+
+/**
+ * Collects the metric tree for one bench binary and writes the
+ * BENCH_<name>.json perf-trajectory artifact
+ * (schema cachescope-metrics-v1: {schema, name, wall_ms,
+ * counters{...}, gauges{...}, histograms{...}}).
+ *
+ * Construct at the top of main() — wall_ms measures from construction
+ * to emit(). The artifact lands in $CACHESCOPE_BENCH_DIR when set,
+ * else in "results/" when that directory exists (next to the result
+ * tables), else in the working directory.
+ */
+class BenchMetrics
+{
+  public:
+    explicit BenchMetrics(std::string name) : name_(std::move(name)) {}
+
+    /** Merge one simulation's full statistics tree under "<prefix>.". */
+    void
+    add(const SimResult &result, const std::string &prefix)
+    {
+        result.exportMetrics(registry_, prefix);
+        registry_.addCounter("bench.simulations");
+    }
+
+    /** Merge a sweep's aggregated tree under "<prefix>.". */
+    void
+    add(const SweepReport &report, const std::string &prefix)
+    {
+        registry_.merge(report.metrics, prefix);
+        registry_.addCounter("bench.sweeps");
+        registry_.addCounter("bench.simulations", report.executed);
+    }
+
+    /** Direct access, for registering experiment-specific metrics. */
+    MetricsRegistry &registry() { return registry_; }
+
+    /** Write BENCH_<name>.json; warn()s and returns false on failure. */
+    bool
+    emit()
+    {
+        MetricsDocument doc;
+        doc.name = name_;
+        doc.wallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+        doc.metrics = registry_;
+
+        std::string dir = ".";
+        if (const char *env = std::getenv("CACHESCOPE_BENCH_DIR");
+            env != nullptr && env[0] != '\0') {
+            dir = env;
+        } else {
+            std::error_code ec;
+            if (std::filesystem::is_directory("results", ec))
+                dir = "results";
+        }
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        if (Status s = writeMetricsJsonFile(doc, path); !s.ok()) {
+            warn("bench metrics not written: %s", s.message().c_str());
+            return false;
+        }
+        std::cout << "(bench metrics written to " << path << ")\n";
+        return true;
+    }
+
+  private:
+    std::string name_;
+    MetricsRegistry registry_;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+};
 
 /** Banner for experiment binaries. */
 inline void

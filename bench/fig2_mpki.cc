@@ -23,6 +23,7 @@ main()
     bench::banner("fig2", "GAP MPKI across the cache hierarchy (LRU)",
                   "Fig. 2; means 53.2 / 44.2 / 41.8 MPKI");
 
+    bench::BenchMetrics metrics("fig2");
     const auto suite = bench::gapFidelitySuite();
     const SimConfig config = bench::fidelityConfig("lru");
 
@@ -30,6 +31,7 @@ main()
     std::vector<double> l1d, l2, llc;
     for (const auto &workload : suite) {
         const SimResult r = runOne(*workload, config);
+        metrics.add(r, workload->name());
         table.newRow();
         table.addCell(workload->name());
         table.addNumber(r.mpkiL1d(), 2);
@@ -49,5 +51,6 @@ main()
     table.addCell("-");
 
     bench::emitTable(table, "fig2");
+    metrics.emit();
     return 0;
 }

@@ -38,11 +38,15 @@ main()
 
     Table table({"suite", "srrip", "drrip", "ship", "hawkeye", "glider",
                  "mpppb"});
+    bench::BenchMetrics metrics("fig3");
     SuiteRunner runner(bench::sweepConfig(), /*jobs=*/0);
     for (const auto &suite : suites) {
         std::fprintf(stderr, "suite %s (%zu workloads):\n",
                      suite.name.c_str(), suite.workloads.size());
-        const SweepResults results = runner.run(suite.workloads, policies);
+        const SweepReport report =
+            runner.runChecked(suite.workloads, policies);
+        metrics.add(report, suite.name);
+        const SweepResults &results = report.results;
         table.newRow();
         table.addCell(suite.name);
         for (const auto &policy : paperPolicies())
@@ -50,5 +54,6 @@ main()
     }
 
     bench::emitTable(table, "fig3");
+    metrics.emit();
     return 0;
 }

@@ -26,10 +26,12 @@ main()
 
     Table table({"workload", "l1d_misses", "dram_reads", "dram_ratio",
                  "row_hit_rate", "avg_dram_latency_cyc"});
+    bench::BenchMetrics metrics("fig4");
     std::vector<double> ratios;
     std::uint64_t total_l1d = 0, total_dram = 0;
     for (const auto &workload : suite) {
         const SimResult r = runOne(*workload, config);
+        metrics.add(r, workload->name());
         table.newRow();
         table.addCell(workload->name());
         table.addNumber(static_cast<double>(r.l1d.demandMisses()), 0);
@@ -63,5 +65,6 @@ main()
     table.addCell("-");
 
     bench::emitTable(table, "fig4");
+    metrics.emit();
     return 0;
 }

@@ -52,6 +52,7 @@ main()
 
     Table table({"workload", "mem_pcs", "mean_blocks_per_pc",
                  "max_blocks_per_pc", "pcs_for_90pct", "pc_entropy_bits"});
+    bench::BenchMetrics metrics("fig5");
     auto add = [&](const std::string &name, const PcProfileSummary &s) {
         table.newRow();
         table.addCell(name);
@@ -60,6 +61,13 @@ main()
         table.addNumber(static_cast<double>(s.maxBlocksPerPc), 0);
         table.addNumber(static_cast<double>(s.pcsFor90PctAccesses), 0);
         table.addNumber(s.pcEntropyBits, 2);
+        MetricsRegistry &reg = metrics.registry();
+        reg.setCounter(name + ".distinct_memory_pcs", s.distinctMemoryPcs);
+        reg.setCounter(name + ".max_blocks_per_pc", s.maxBlocksPerPc);
+        reg.setCounter(name + ".pcs_for_90pct", s.pcsFor90PctAccesses);
+        reg.setGauge(name + ".mean_blocks_per_pc", s.meanBlocksPerPc);
+        reg.setGauge(name + ".pc_entropy_bits", s.pcEntropyBits);
+        reg.addCounter("bench.profiles");
     };
 
     for (const auto &workload : bench::gapFidelitySuite()) {
@@ -74,5 +82,6 @@ main()
     }
 
     bench::emitTable(table, "fig5");
+    metrics.emit();
     return 0;
 }

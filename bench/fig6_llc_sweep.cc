@@ -33,12 +33,15 @@ main()
     const auto suite = makeGapSuite(suite_cfg);
 
     Table table({"workload", "llc_mb", "llc_mpki", "ipc", "dram_ratio"});
+    bench::BenchMetrics metrics("fig6");
     for (const auto &workload : suite) {
         for (unsigned mult : multipliers) {
             SimConfig config = bench::sweepConfig("lru");
             config.hierarchy.llc.sizeBytes =
                 static_cast<std::uint64_t>(mult) * 11 * 128 * 1024;
             const SimResult r = runOne(*workload, config);
+            metrics.add(r, workload->name() + ".llc_x" +
+                               std::to_string(mult));
             table.newRow();
             table.addCell(workload->name());
             table.addNumber(1.375 * mult, 3);
@@ -51,5 +54,6 @@ main()
     }
 
     bench::emitTable(table, "fig6");
+    metrics.emit();
     return 0;
 }

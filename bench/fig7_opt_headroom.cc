@@ -32,6 +32,7 @@ main()
     Table table({"workload", "lru_llc_misses", "opt_llc_misses",
                  "opt_miss_reduction", "hawkeye_recovered",
                  "ship_recovered"});
+    bench::BenchMetrics metrics("fig7");
     for (const auto &workload : suite) {
         const SimResult lru = runOne(*workload, bench::sweepConfig("lru"));
         const SimResult opt = runBelady(*workload, bench::sweepConfig());
@@ -39,6 +40,10 @@ main()
             runOne(*workload, bench::sweepConfig("hawkeye"));
         const SimResult ship =
             runOne(*workload, bench::sweepConfig("ship"));
+        metrics.add(lru, workload->name() + ".lru");
+        metrics.add(opt, workload->name() + ".belady");
+        metrics.add(hawkeye, workload->name() + ".hawkeye");
+        metrics.add(ship, workload->name() + ".ship");
 
         const double lru_misses =
             static_cast<double>(lru.llc.demandMisses());
@@ -62,5 +67,6 @@ main()
     }
 
     bench::emitTable(table, "fig7");
+    metrics.emit();
     return 0;
 }

@@ -25,8 +25,11 @@ main()
     for (const auto &p : paperPolicies())
         policies.push_back(p);
 
+    bench::BenchMetrics metrics("tab2");
     SuiteRunner runner(bench::sweepConfig(), 0);
-    const SweepResults results = runner.run(suite, policies);
+    const SweepReport report = runner.runChecked(suite, policies);
+    metrics.add(report, "gap");
+    const SweepResults &results = report.results;
 
     Table table({"workload", "lru_ipc", "srrip", "drrip", "ship",
                  "hawkeye", "glider", "mpppb"});
@@ -47,5 +50,6 @@ main()
         table.addNumber(geomeanSpeedup(results, policy), 4);
 
     bench::emitTable(table, "tab2");
+    metrics.emit();
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "core/cache.hh"
 
 #include "dram/dram.hh"
+#include "stats/metrics.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -97,6 +98,31 @@ CacheStats::demandMissRate() const
     return total == 0
         ? 0.0
         : static_cast<double>(demandMisses()) / static_cast<double>(total);
+}
+
+void
+CacheStats::exportMetrics(MetricsRegistry &metrics,
+                          const std::string &prefix) const
+{
+    const std::string p = prefix + ".";
+    for (std::size_t t = 0; t < kNumTypes; ++t) {
+        const std::string suffix =
+            accessTypeName(static_cast<AccessType>(t));
+        metrics.setCounter(p + "hits." + suffix, hits[t]);
+        metrics.setCounter(p + "misses." + suffix, misses[t]);
+        metrics.setCounter(p + "evictions_by_fill." + suffix,
+                           evictionsByFill[t]);
+    }
+    metrics.setCounter(p + "bypasses", bypasses);
+    metrics.setCounter(p + "writebacks_issued", writebacksIssued);
+    metrics.setCounter(p + "evictions", evictions);
+    metrics.setCounter(p + "prefetches_issued", prefetchesIssued);
+    metrics.setCounter(p + "prefetches_useful", prefetchesUseful);
+    if (prefetchesIssued > 0) {
+        metrics.setGauge(p + "prefetch_accuracy",
+                         static_cast<double>(prefetchesUseful) /
+                             static_cast<double>(prefetchesIssued));
+    }
 }
 
 Cache::Cache(const CacheConfig &config, MemoryLevel *next)
@@ -210,6 +236,7 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
 
         Line &victim = line(set, victim_way);
         ++stats_.evictions;
+        ++stats_.evictionsByFill[type_idx];
         if (victim.dirty) {
             ++stats_.writebacksIssued;
             // Off the critical path: latency result ignored.
@@ -229,6 +256,15 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
         issuePrefetches(block, pc, /*hit=*/false, now);
 
     return fill_done;
+}
+
+void
+Cache::exportDynamicMetrics(MetricsRegistry &metrics,
+                            const std::string &prefix) const
+{
+    repl->exportMetrics(metrics, prefix + ".policy");
+    if (prefetch)
+        prefetch->exportMetrics(metrics, prefix + ".prefetcher");
 }
 
 void

@@ -28,6 +28,8 @@
 
 namespace cachescope {
 
+class MetricsRegistry;
+
 /** Anything a cache can forward misses to. */
 class MemoryLevel
 {
@@ -88,6 +90,8 @@ struct CacheStats
     std::uint64_t bypasses = 0;
     std::uint64_t writebacksIssued = 0;  ///< dirty evictions sent below
     std::uint64_t evictions = 0;
+    /** Evictions keyed by the access type of the incoming fill. */
+    std::uint64_t evictionsByFill[kNumTypes] = {};
     std::uint64_t prefetchesIssued = 0;  ///< prefetch fills requested
     std::uint64_t prefetchesUseful = 0;  ///< prefetched lines later hit
 
@@ -105,6 +109,10 @@ struct CacheStats
     std::uint64_t demandMisses() const;
     std::uint64_t demandAccesses() const;
     double demandMissRate() const;
+
+    /** Register every counter under "<prefix>." in @p metrics. */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const;
 
     void reset() { *this = CacheStats{}; }
 };
@@ -137,6 +145,15 @@ class Cache : public MemoryLevel
 
     const CacheConfig &config() const { return cfg; }
     const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Export the replacement policy's and prefetcher's internal
+     * metrics under "<prefix>.policy." / "<prefix>.prefetcher.".
+     * (The level's own counters travel in CacheStats snapshots and are
+     * exported from there.)
+     */
+    void exportDynamicMetrics(MetricsRegistry &metrics,
+                              const std::string &prefix) const;
     ReplacementPolicy &policy() { return *repl; }
     const ReplacementPolicy &policy() const { return *repl; }
 

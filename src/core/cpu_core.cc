@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "stats/metrics.hh"
 #include "util/logging.hh"
 
 namespace cachescope {
@@ -20,6 +21,20 @@ CoreStats::reset(Cycle at_cycle)
     branches = 0;
     cycles = 0;
     windowStart = at_cycle;
+}
+
+void
+CoreStats::exportMetrics(MetricsRegistry &metrics,
+                         const std::string &prefix) const
+{
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    metrics.setCounter(p + "instructions", instructions);
+    metrics.setCounter(p + "loads", loads);
+    metrics.setCounter(p + "stores", stores);
+    metrics.setCounter(p + "branches", branches);
+    metrics.setCounter(p + "cycles", cycles);
+    if (cycles > 0)
+        metrics.setGauge(p + "ipc", ipc());
 }
 
 CpuCore::CpuCore(const CoreConfig &config, CacheHierarchy &hierarchy)

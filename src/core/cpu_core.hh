@@ -20,12 +20,15 @@
 #define CACHESCOPE_CORE_CPU_CORE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/hierarchy.hh"
 #include "trace/record.hh"
 
 namespace cachescope {
+
+class MetricsRegistry;
 
 /** Core parameters (defaults: Cascade Lake-class). */
 struct CoreConfig
@@ -65,6 +68,10 @@ struct CoreStats
     }
 
     void reset(Cycle at_cycle);
+
+    /** Register every counter under "<prefix>." in @p metrics. */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const;
 
     /** Cycle at which the current measurement window started. */
     Cycle windowStart = 0;

@@ -49,6 +49,24 @@ SimResult::dramServiceRatio() const
            static_cast<double>(l1d_misses);
 }
 
+void
+SimResult::exportMetrics(MetricsRegistry &metrics,
+                         const std::string &prefix) const
+{
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    core.exportMetrics(metrics, p + "core");
+    l1i.exportMetrics(metrics, p + "l1i");
+    l1d.exportMetrics(metrics, p + "l1d");
+    l2.exportMetrics(metrics, p + "l2");
+    llc.exportMetrics(metrics, p + "llc");
+    dram.exportMetrics(metrics, p + "dram");
+    metrics.setGauge(p + "derived.mpki_l1d", mpkiL1d());
+    metrics.setGauge(p + "derived.mpki_l2", mpkiL2());
+    metrics.setGauge(p + "derived.mpki_llc", mpkiLlc());
+    metrics.setGauge(p + "derived.dram_service_ratio", dramServiceRatio());
+    metrics.merge(extraMetrics, prefix);
+}
+
 Simulator::Simulator(const SimConfig &config)
     : cfg(config), hier(config.hierarchy), cpu(config.core, hier)
 {}
@@ -91,6 +109,10 @@ Simulator::result() const
     r.l2 = hier.l2().stats();
     r.llc = hier.llc().stats();
     r.dram = hier.dram().stats();
+    hier.l1i().exportDynamicMetrics(r.extraMetrics, "l1i");
+    hier.l1d().exportDynamicMetrics(r.extraMetrics, "l1d");
+    hier.l2().exportDynamicMetrics(r.extraMetrics, "l2");
+    hier.llc().exportDynamicMetrics(r.extraMetrics, "llc");
     return r;
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/cpu_core.hh"
 #include "core/hierarchy.hh"
+#include "stats/metrics.hh"
 #include "trace/record.hh"
 #include "util/status.hh"
 
@@ -48,6 +49,12 @@ struct SimResult
     CacheStats l2;
     CacheStats llc;
     DramStats dram;
+    /**
+     * Dynamic per-component state metrics (replacement-policy and
+     * prefetcher internals) captured by Simulator::result(); already
+     * prefixed by cache level ("llc.policy.psel", ...).
+     */
+    MetricsRegistry extraMetrics;
 
     double ipc() const { return core.ipc(); }
     /** Demand MPKI at a given level over the measured window. */
@@ -56,6 +63,14 @@ struct SimResult
     double mpkiLlc() const;
     /** Fraction of L1D demand misses ultimately served by DRAM. */
     double dramServiceRatio() const;
+
+    /**
+     * Register the full statistics tree — core, every cache level,
+     * DRAM, derived gauges (ipc, mpki_*, dram_service_ratio), and
+     * extraMetrics — under "<prefix>." in @p metrics ("" = top level).
+     */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix = "") const;
 };
 
 /**

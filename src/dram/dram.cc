@@ -8,10 +8,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/metrics.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
 namespace cachescope {
+
+void
+DramStats::exportMetrics(MetricsRegistry &metrics,
+                         const std::string &prefix) const
+{
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    metrics.setCounter(p + "reads", reads);
+    metrics.setCounter(p + "writes", writes);
+    metrics.setCounter(p + "row_hits", rowHits);
+    metrics.setCounter(p + "row_misses", rowMisses);
+    metrics.setCounter(p + "row_conflicts", rowConflicts);
+    metrics.setCounter(p + "total_latency_cycles", totalLatency);
+    if (accesses() > 0)
+        metrics.setGauge(p + "avg_latency_cycles", avgLatency());
+    if (reads > 0)
+        metrics.setGauge(p + "row_hit_rate", rowHitRate());
+}
 
 DramConfig
 DramConfig::ddr4_2933(double cpu_freq_ghz)

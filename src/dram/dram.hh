@@ -16,11 +16,14 @@
 #define CACHESCOPE_DRAM_DRAM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
 
 namespace cachescope {
+
+class MetricsRegistry;
 
 /**
  * DDR4 organization and timing configuration.
@@ -84,6 +87,10 @@ struct DramStats
             ? 0.0
             : static_cast<double>(rowHits) / static_cast<double>(reads);
     }
+
+    /** Register every counter under "<prefix>." in @p metrics. */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const;
 };
 
 /**

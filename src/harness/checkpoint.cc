@@ -104,6 +104,7 @@ CheckpointJournal::~CheckpointJournal()
 Status
 CheckpointJournal::open(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     CS_ASSERT(file == nullptr, "journal opened twice");
     path_ = path;
     bool needs_header = true;
@@ -189,6 +190,7 @@ CheckpointJournal::open(const std::string &path)
 void
 CheckpointJournal::close()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (file) {
         std::fclose(file);
         file = nullptr;
@@ -199,6 +201,7 @@ const CellOutcome *
 CheckpointJournal::find(const std::string &workload,
                         const std::string &policy) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries.find(Key{workload, policy});
     return it == entries.end() ? nullptr : &it->second;
 }
@@ -206,8 +209,6 @@ CheckpointJournal::find(const std::string &workload,
 Status
 CheckpointJournal::append(const CellOutcome &outcome)
 {
-    if (!file)
-        return internalError("checkpoint journal is not open");
     if (!outcome.ok) {
         return invalidArgumentError(
             "refusing to checkpoint failed cell %s/%s (failures re-run "
@@ -215,6 +216,12 @@ CheckpointJournal::append(const CellOutcome &outcome)
             outcome.workload.c_str(), outcome.policy.c_str());
     }
     const std::string line = serialize(outcome);
+    // One critical section covers both the file write and the index
+    // update: a record must never appear in one but not the other, and
+    // two appends must never interleave bytes on disk.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!file)
+        return internalError("checkpoint journal is not open");
     if (std::fprintf(file, "%s\n", line.c_str()) < 0 ||
         std::fflush(file) != 0) {
         return ioError("cannot append to checkpoint journal '%s'",

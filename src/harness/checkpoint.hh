@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -49,22 +50,37 @@ class CheckpointJournal
 
     /**
      * @return the completed outcome recorded for this cell, or nullptr
-     * if the cell has not been completed yet.
+     * if the cell has not been completed yet. The pointer stays valid
+     * across concurrent append()s (entries are never erased), but the
+     * cell it names must not also be appended concurrently.
      */
     const CellOutcome *find(const std::string &workload,
                             const std::string &policy) const;
 
-    /** Record a successfully completed cell; flushed immediately. */
+    /**
+     * Record a successfully completed cell; flushed immediately.
+     * Safe to call from multiple threads: the line write and the
+     * in-memory index update happen under an internal mutex, so
+     * concurrent appends can never interleave bytes within the
+     * journal file.
+     */
     Status append(const CellOutcome &outcome);
 
     /** Number of completed cells currently in the journal. */
-    std::size_t completedCells() const { return entries.size(); }
+    std::size_t
+    completedCells() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries.size();
+    }
 
     const std::string &path() const { return path_; }
 
   private:
     using Key = std::pair<std::string, std::string>;
 
+    /** Guards `file` and `entries` against concurrent append()s. */
+    mutable std::mutex mutex_;
     std::string path_;
     std::FILE *file = nullptr;
     std::map<Key, CellOutcome> entries;

@@ -140,6 +140,36 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
     SweepReport report;
     report.outcomes.resize(cells.size());
 
+    // Cell wall times in 10 ms buckets up to ~2.5 s plus overflow.
+    Histogram wall_hist(10, 256);
+
+    // Fold one finished cell into the report's metric tree. Callers
+    // must hold the report mutex once workers are running; counter
+    // sums are order-independent, which is what keeps a parallel
+    // sweep's counters identical to a serial one's.
+    auto recordCell = [&report, &wall_hist](const CellOutcome &out) {
+        const std::string cell_prefix =
+            "cell." + out.workload + "." + out.policy;
+        if (out.ok) {
+            report.metrics.addCounter("sweep.cells_ok");
+            out.result.exportMetrics(report.metrics, cell_prefix);
+            // Counters additionally sum across cells under "total.";
+            // gauges and histograms stay per-cell only.
+            MetricsRegistry cell_metrics;
+            out.result.exportMetrics(cell_metrics);
+            for (const auto &[path, value] : cell_metrics.counters())
+                report.metrics.addCounter("total." + path, value);
+        } else {
+            report.metrics.addCounter("sweep.cells_failed");
+        }
+        report.metrics.addCounter("sweep.attempts_total", out.attempts);
+        if (out.fromCheckpoint)
+            report.metrics.addCounter("sweep.checkpoint_restores");
+        report.metrics.setGauge(cell_prefix + ".wall_ms", out.wallMs);
+        wall_hist.add(static_cast<std::uint64_t>(
+            out.wallMs < 0.0 ? 0.0 : out.wallMs));
+    };
+
     // Restore cells a previous (interrupted) run already finished.
     std::vector<std::size_t> pending;
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -152,6 +182,7 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
             report.outcomes[i].fromCheckpoint = true;
             report.results[cell.workload->name()][cell.policy] =
                 done->result;
+            recordCell(report.outcomes[i]);
             if (verbose_) {
                 std::fprintf(stderr, "  [%zu/%zu] %-24s %-8s restored "
                              "from checkpoint\n",
@@ -202,6 +233,7 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
                                  out.workload.c_str(), out.policy.c_str(),
                                  out.attempts, out.error.c_str());
                 }
+                recordCell(out);
                 report.outcomes[i] = std::move(out);
             }
         }
@@ -216,6 +248,9 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
     for (auto &t : threads)
         t.join();
 
+    report.metrics.setCounter("sweep.cells_total", cells.size());
+    report.metrics.setCounter("sweep.executed", report.executed);
+    report.metrics.setHistogram("sweep.cell_wall_ms", wall_hist);
     return report;
 }
 

@@ -64,6 +64,16 @@ struct SweepReport
     std::vector<CellOutcome> outcomes;
     /** Cells actually simulated this run (checkpoint hits excluded). */
     std::size_t executed = 0;
+    /**
+     * Aggregated metric tree: per-cell trees under
+     * "cell.<workload>.<policy>.", counter sums across all successful
+     * cells under "total.", and sweep bookkeeping (cells_ok,
+     * cells_failed, attempts_total, checkpoint_restores, cell wall-time
+     * histogram) under "sweep.". Counters are merged per cell under the
+     * report mutex; their sums are order-independent, so a parallel
+     * sweep reports exactly the counters of a serial one.
+     */
+    MetricsRegistry metrics;
 
     std::size_t failed() const;
     bool allOk() const { return failed() == 0; }

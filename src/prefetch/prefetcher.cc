@@ -5,6 +5,7 @@
 
 #include "prefetch/prefetcher.hh"
 
+#include "stats/metrics.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -64,6 +65,21 @@ StridePrefetcher::onAccess(Addr block_addr, Pc pc, bool,
     }
 }
 
+void
+StridePrefetcher::exportMetrics(MetricsRegistry &metrics,
+                                const std::string &prefix) const
+{
+    std::uint64_t valid = 0, confident = 0;
+    for (const Entry &e : table) {
+        valid += e.valid ? 1 : 0;
+        confident += (e.valid && e.confidence >= 2) ? 1 : 0;
+    }
+    metrics.setGauge(prefix + ".valid_entries",
+                     static_cast<double>(valid));
+    metrics.setGauge(prefix + ".confident_entries",
+                     static_cast<double>(confident));
+}
+
 StreamPrefetcher::StreamPrefetcher(std::uint32_t num_streams,
                                    unsigned distance)
     : numStreams(num_streams), distance(distance), streams(num_streams)
@@ -119,6 +135,21 @@ StreamPrefetcher::onAccess(Addr block_addr, Pc, bool,
     victim->hits = 0;
     victim->lruStamp = clock;
     victim->valid = true;
+}
+
+void
+StreamPrefetcher::exportMetrics(MetricsRegistry &metrics,
+                                const std::string &prefix) const
+{
+    std::uint64_t valid = 0, trained = 0;
+    for (const Stream &s : streams) {
+        valid += s.valid ? 1 : 0;
+        trained += (s.valid && s.hits >= 2) ? 1 : 0;
+    }
+    metrics.setGauge(prefix + ".valid_streams",
+                     static_cast<double>(valid));
+    metrics.setGauge(prefix + ".trained_streams",
+                     static_cast<double>(trained));
 }
 
 std::unique_ptr<Prefetcher>

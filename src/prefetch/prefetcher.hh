@@ -30,6 +30,8 @@
 
 namespace cachescope {
 
+class MetricsRegistry;
+
 /** Abstract prefetcher interface. */
 class Prefetcher
 {
@@ -46,6 +48,18 @@ class Prefetcher
      */
     virtual void onAccess(Addr block_addr, Pc pc, bool hit,
                           std::vector<Addr> &out) = 0;
+
+    /**
+     * Register internal-state metrics (table occupancy, ...) under
+     * "<prefix>." in @p metrics. Report-time only; default exports
+     * nothing.
+     */
+    virtual void
+    exportMetrics(MetricsRegistry &metrics, const std::string &prefix) const
+    {
+        (void)metrics;
+        (void)prefix;
+    }
 };
 
 /**
@@ -82,6 +96,9 @@ class StridePrefetcher : public Prefetcher
     void onAccess(Addr block_addr, Pc pc, bool hit,
                   std::vector<Addr> &out) override;
 
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const override;
+
   private:
     struct Entry
     {
@@ -114,6 +131,9 @@ class StreamPrefetcher : public Prefetcher
 
     void onAccess(Addr block_addr, Pc pc, bool hit,
                   std::vector<Addr> &out) override;
+
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const override;
 
   private:
     struct Stream

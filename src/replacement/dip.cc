@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "stats/metrics.hh"
 #include "util/logging.hh"
 
 namespace cachescope {
@@ -122,4 +123,13 @@ cachescope::DipPolicy::debugState() const
                   pselCounter, kPselMax,
                   pselCounter > kPselMax / 2 ? "lru" : "bip");
     return buf;
+}
+
+void
+cachescope::DipPolicy::exportMetrics(MetricsRegistry &metrics,
+                                     const std::string &prefix) const
+{
+    metrics.setGauge(prefix + ".psel", pselCounter);
+    metrics.setGauge(prefix + ".follower_mode_lru",
+                     pselCounter > kPselMax / 2 ? 1.0 : 0.0);
 }

@@ -83,6 +83,8 @@ class DipPolicy : public LruInsertionBase
     std::uint32_t psel() const { return pselCounter; }
 
     std::string debugState() const override;
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix) const override;
 
   protected:
     bool insertAtMru(std::uint32_t set, AccessType type) override;

@@ -24,6 +24,8 @@
 
 namespace cachescope {
 
+class MetricsRegistry;
+
 /** Why the cache is being accessed, as seen by the replacement policy. */
 enum class AccessType : std::uint8_t {
     Load = 0,       ///< demand read (includes instruction fetch)
@@ -115,6 +117,19 @@ class ReplacementPolicy
      * --policy-state flag and by tests.
      */
     virtual std::string debugState() const { return ""; }
+
+    /**
+     * Register the policy's learned-state metrics (selector counters,
+     * predictor occupancy, ...) under "<prefix>." in @p metrics.
+     * Stateless policies export nothing; purely observational, called
+     * at report time only.
+     */
+    virtual void
+    exportMetrics(MetricsRegistry &metrics, const std::string &prefix) const
+    {
+        (void)metrics;
+        (void)prefix;
+    }
 
   protected:
     CacheGeometry geom;

@@ -28,12 +28,25 @@ geomean(const std::vector<double> &values)
 {
     if (values.empty())
         return 0.0;
+    // The geometric mean is only defined over strictly positive
+    // values. A zero (e.g. a failed cell reporting IPC 0) used to
+    // abort the whole report; skip such values with a warning so one
+    // bad cell cannot take down an otherwise complete summary.
     double log_sum = 0.0;
+    std::size_t used = 0;
     for (double v : values) {
-        CS_ASSERT(v > 0.0, "geomean requires strictly positive values");
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            warn("geomean: skipping non-positive or non-finite value "
+                 "%g (%zu value(s) total)",
+                 v, values.size());
+            continue;
+        }
         log_sum += std::log(v);
+        ++used;
     }
-    return std::exp(log_sum / static_cast<double>(values.size()));
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 double

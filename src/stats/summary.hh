@@ -16,8 +16,10 @@ double mean(const std::vector<double> &values);
 
 /**
  * @return the geometric mean of @p values (0 for an empty vector).
- * All values must be strictly positive; this is the aggregation the
- * paper uses for cross-workload speedups.
+ * Non-positive and non-finite values are skipped with a warning (the
+ * mean is taken over the remaining values; 0 if none remain) — one
+ * failed speedup cell must not abort the whole summary. This is the
+ * aggregation the paper uses for cross-workload speedups.
  */
 double geomean(const std::vector<double> &values);
 

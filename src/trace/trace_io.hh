@@ -129,6 +129,12 @@ class TraceReader
     std::uint32_t version() const { return header.version; }
 
     /**
+     * @return the Checksum64 digest the v2 header promises for the
+     * record bytes (0 for v1 traces, which carry no checksum).
+     */
+    std::uint64_t headerChecksum() const { return header.checksum; }
+
+    /**
      * Read the next record.
      * @return false at end of input; check status() afterwards to tell
      *         clean EOF from truncation/corruption.

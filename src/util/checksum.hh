@@ -19,6 +19,15 @@ namespace cachescope {
 class Checksum64
 {
   public:
+    /**
+     * FNV-1a 64-bit offset basis — the initial state of every
+     * Checksum64. Pinned as part of the on-disk trace format: traces
+     * written by one build must verify identically under every other,
+     * so this value (and the update/finisher math below) must never
+     * change without bumping the trace-format version.
+     */
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+
     void
     update(const void *data, std::size_t len)
     {
@@ -44,11 +53,10 @@ class Checksum64
         return h;
     }
 
-    void reset() { state = kSeed; }
+    void reset() { state = kOffsetBasis; }
 
   private:
-    static constexpr std::uint64_t kSeed = 0xcbf29ce484222325ull;
-    std::uint64_t state = kSeed;
+    std::uint64_t state = kOffsetBasis;
 };
 
 } // namespace cachescope

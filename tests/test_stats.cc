@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "stats/summary.hh"
@@ -30,6 +31,25 @@ TEST(Summary, GeomeanBasics)
     // Geomean of reciprocal pairs is 1 — the property that makes it the
     // right aggregation for speedup ratios.
     EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Summary, GeomeanSkipsNonPositiveValues)
+{
+    // A zero (e.g. a failed cell's IPC) must not abort the summary:
+    // it is skipped and the mean is over the remaining values.
+    EXPECT_NEAR(geomean({0.0, 1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({-3.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({0.0, -1.0}), 0.0);
+}
+
+TEST(Summary, GeomeanSkipsNonFiniteValues)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_NEAR(geomean({inf, 1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({nan, 3.0}), 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({inf, nan}), 0.0);
 }
 
 TEST(Summary, StddevBasics)

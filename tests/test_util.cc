@@ -1,14 +1,16 @@
 /**
  * @file
  * Unit tests for the util substrate: integer math, saturating
- * counters, and the deterministic RNG.
+ * counters, the deterministic RNG, and the trace checksum.
  */
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
+#include <vector>
 
+#include "util/checksum.hh"
 #include "util/intmath.hh"
 #include "util/rng.hh"
 #include "util/sat_counter.hh"
@@ -245,6 +247,55 @@ TEST(Rng, ZipfInRange)
     }
     EXPECT_EQ(rng.nextZipf(1, 1.0), 0u);
     EXPECT_EQ(rng.nextZipf(0, 1.0), 0u);
+}
+
+// ----------------------------------------------------------- checksum --
+
+// Known-answer tests pinning Checksum64 to its exact current output.
+// The digest is part of the v2 trace format: if any of these change,
+// every existing trace file fails verification, so a change here must
+// come with a trace-format version bump.
+
+TEST(Checksum64, PinnedOffsetBasis)
+{
+    EXPECT_EQ(Checksum64::kOffsetBasis, 0xcbf29ce484222325ull);
+}
+
+TEST(Checksum64, KnownAnswerEmptyInput)
+{
+    Checksum64 sum;
+    EXPECT_EQ(sum.digest(), 0xefd01f60ba992926ull);
+}
+
+TEST(Checksum64, KnownAnswerAbc)
+{
+    Checksum64 sum;
+    sum.update("abc", 3);
+    EXPECT_EQ(sum.digest(), 0x33ebaf9927cbc5bdull);
+}
+
+TEST(Checksum64, KnownAnswerOneMebibytePattern)
+{
+    std::vector<unsigned char> pattern(1 << 20);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<unsigned char>(i & 0xff);
+    Checksum64 sum;
+    sum.update(pattern.data(), pattern.size());
+    EXPECT_EQ(sum.digest(), 0x2f9a8da9eba70e5cull);
+
+    // Chunked updates over the same bytes digest identically.
+    Checksum64 chunked;
+    chunked.update(pattern.data(), 1000);
+    chunked.update(pattern.data() + 1000, pattern.size() - 1000);
+    EXPECT_EQ(chunked.digest(), sum.digest());
+}
+
+TEST(Checksum64, ResetRestoresInitialState)
+{
+    Checksum64 sum;
+    sum.update("abc", 3);
+    sum.reset();
+    EXPECT_EQ(sum.digest(), 0xefd01f60ba992926ull);
 }
 
 } // namespace

@@ -18,6 +18,7 @@
  * of successful cells and a failure summary are still printed).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/workload_zoo.hh"
+#include "stats/metrics.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 #include "util/logging.hh"
@@ -85,6 +87,46 @@ class Args
   private:
     std::map<std::string, std::string> values;
 };
+
+/** Wall-clock stopwatch for --metrics-json timing. */
+class WallTimer
+{
+  public:
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+};
+
+/**
+ * Honour --metrics-json FILE: dump @p metrics as a
+ * cachescope-metrics-v1 document. @return 0, or 1 on write failure.
+ */
+int
+emitMetricsJson(const Args &args, const std::string &name, double wall_ms,
+                const MetricsRegistry &metrics)
+{
+    if (!args.has("metrics-json"))
+        return 0;
+    MetricsDocument doc;
+    doc.name = name;
+    doc.wallMs = wall_ms;
+    doc.metrics = metrics;
+    const std::string path = args.get("metrics-json", "metrics.json");
+    if (Status s = writeMetricsJsonFile(doc, path); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.message().c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+    return 0;
+}
 
 ZooOptions
 zooOptionsFrom(const Args &args)
@@ -147,14 +189,19 @@ cmdRun(const Args &args)
     }
     std::fprintf(stderr, "running %s under %s...\n",
                  workload->name().c_str(), policy.c_str());
+    const WallTimer timer;
     const SimResult r = policy == "belady" ? runBelady(*workload, cfg)
                                            : runOne(*workload, cfg);
+    const double wall_ms = timer.elapsedMs();
     printSimResult(r, std::cout);
     if (!r.llcPolicyState.empty()) {
         std::printf("llc policy state: %s\n",
                     r.llcPolicyState.c_str());
     }
-    return 0;
+    MetricsRegistry metrics;
+    r.exportMetrics(metrics);
+    return emitMetricsJson(
+        args, "run:" + workload->name() + ":" + policy, wall_ms, metrics);
 }
 
 int
@@ -206,7 +253,9 @@ cmdSweep(const Args &args)
         runner.setCheckpoint(&journal);
     }
 
+    const WallTimer timer;
     const SweepReport report = runner.runChecked(suite, policies);
+    const double wall_ms = timer.elapsedMs();
     const SweepResults &results = report.results;
 
     // Render every workload that produced at least one result; cells
@@ -239,6 +288,12 @@ cmdSweep(const Args &args)
     for (std::size_t i = 1; i < policies.size(); ++i)
         table.addNumber(geomeanSpeedup(results, policies[i]), 4);
     table.printAscii(std::cout);
+
+    if (int rc = emitMetricsJson(args, "sweep:" + args.get("suite", "gap"),
+                                 wall_ms, report.metrics);
+        rc != 0) {
+        return rc;
+    }
 
     if (!report.allOk()) {
         std::fprintf(stderr, "\n%zu of %zu cell(s) FAILED:\n",
@@ -325,6 +380,7 @@ cmdReplay(const Args &args)
     }
     Simulator sim(cfg);
     std::uint64_t replayed = 0;
+    const WallTimer timer;
     if (Status s = reader_or.value()->replayInto(sim, &replayed);
         !s.ok()) {
         std::fprintf(stderr,
@@ -333,10 +389,16 @@ cmdReplay(const Args &args)
                      s.message().c_str());
         return 1;
     }
+    const double wall_ms = timer.elapsedMs();
     std::fprintf(stderr, "replayed %llu records\n",
                  static_cast<unsigned long long>(replayed));
-    printSimResult(sim.result(), std::cout);
-    return 0;
+    const SimResult r = sim.result();
+    printSimResult(r, std::cout);
+    MetricsRegistry metrics;
+    r.exportMetrics(metrics);
+    metrics.setCounter("replay.records", replayed);
+    return emitMetricsJson(args, "replay:" + args.get("policy", "lru"),
+                           wall_ms, metrics);
 }
 
 void
@@ -355,6 +417,8 @@ usage()
         "common flags: --scale N --degree N --seed N --uniform\n"
         "              --warmup N --measure N --llc-kb N\n"
         "              --prefetcher none|next_line|stride|streamer\n"
+        "              --metrics-json FILE (run/sweep/replay: dump the\n"
+        "               full counter tree as cachescope-metrics-v1)\n"
         "sweep flags:  --jobs N --retries N --checkpoint FILE\n"
         "              (--checkpoint resumes an interrupted sweep,\n"
         "               skipping cells the journal says are complete)\n"

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CI validator for BENCH_*.json / --metrics-json artifacts: parses
+ * each file as a cachescope-metrics-v1 document and enforces the
+ * schema invariants the perf-trajectory tooling relies on (non-empty
+ * name, non-negative finite wall_ms, at least one counter).
+ *
+ * usage: check_bench_json FILE [FILE ...]
+ * exit codes: 0 all valid; 1 any invalid or unreadable.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "stats/metrics.hh"
+
+using namespace cachescope;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s FILE [FILE ...]\n", argv[0]);
+        return 1;
+    }
+    int bad = 0;
+    for (int i = 1; i < argc; ++i) {
+        auto doc_or = readMetricsJsonFile(argv[i]);
+        if (!doc_or.ok()) {
+            std::fprintf(stderr, "%s: %s\n", argv[i],
+                         doc_or.status().message().c_str());
+            ++bad;
+            continue;
+        }
+        const MetricsDocument doc = doc_or.take();
+        const char *problem = nullptr;
+        if (doc.name.empty())
+            problem = "empty name";
+        else if (!(doc.wallMs >= 0.0) || !std::isfinite(doc.wallMs))
+            problem = "wall_ms not a finite non-negative number";
+        else if (doc.metrics.counters().empty())
+            problem = "no counters";
+        if (problem != nullptr) {
+            std::fprintf(stderr, "%s: %s\n", argv[i], problem);
+            ++bad;
+            continue;
+        }
+        std::printf("%s: ok (name=%s, %zu counters, %zu gauges, "
+                    "%zu histograms)\n",
+                    argv[i], doc.name.c_str(),
+                    doc.metrics.counters().size(),
+                    doc.metrics.gauges().size(),
+                    doc.metrics.histograms().size());
+    }
+    return bad == 0 ? 0 : 1;
+}
