@@ -200,6 +200,10 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
                 l.prefetched = false;
             }
             repl->update(set, w, pc, block, type, /*hit=*/true);
+            if (eventHook) {
+                eventHook({block, pc, type, set, w, /*hit=*/true,
+                           /*bypassed=*/false, kInvalidAddr});
+            }
             if (type == AccessType::Load || type == AccessType::Store)
                 issuePrefetches(block, pc, /*hit=*/true, now);
             return lookup_done;
@@ -224,17 +228,23 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
             break;
         }
     }
+    Addr victim_block = kInvalidAddr;
     if (victim_way == ReplacementPolicy::kBypassWay) {
         victim_way = repl->findVictim(set, pc, block, type);
         if (victim_way == ReplacementPolicy::kBypassWay) {
             // Policy elected to bypass: nothing is installed and the
             // policy is not updated for this access.
             ++stats_.bypasses;
+            if (eventHook) {
+                eventHook({block, pc, type, set, 0, /*hit=*/false,
+                           /*bypassed=*/true, kInvalidAddr});
+            }
             return fill_done;
         }
         CS_ASSERT(victim_way < cfg.numWays, "policy returned a bad way");
 
         Line &victim = line(set, victim_way);
+        victim_block = victim.block;
         ++stats_.evictions;
         ++stats_.evictionsByFill[type_idx];
         if (victim.dirty) {
@@ -251,6 +261,10 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     l.dirty = (type == AccessType::Store || type == AccessType::Writeback);
     l.prefetched = (type == AccessType::Prefetch);
     repl->update(set, victim_way, pc, block, type, /*hit=*/false);
+    if (eventHook) {
+        eventHook({block, pc, type, set, victim_way, /*hit=*/false,
+                   /*bypassed=*/false, victim_block});
+    }
 
     if (type == AccessType::Load || type == AccessType::Store)
         issuePrefetches(block, pc, /*hit=*/false, now);

@@ -169,6 +169,33 @@ class Cache : public MemoryLevel
     using AccessHook = std::function<void(Addr, Pc, AccessType)>;
     void setAccessHook(AccessHook hook) { accessHook = std::move(hook); }
 
+    /**
+     * One fully resolved access, as observed by the event hook. Fired
+     * once per access() call (including writebacks and recursive
+     * prefetch fills), after the hit/miss outcome, victim choice and
+     * installation are known. This is the observation point the
+     * differential-testing subsystem replays against its reference
+     * models; the hook sees exactly what the statistics count.
+     */
+    struct AccessEvent
+    {
+        Addr block = kInvalidAddr;  ///< block-aligned address accessed
+        Pc pc = 0;
+        AccessType type = AccessType::Load;
+        std::uint32_t set = 0;
+        /** Hit way, or the way filled; undefined when bypassed. */
+        std::uint32_t way = 0;
+        bool hit = false;
+        /** True when the policy elected not to install the fill. */
+        bool bypassed = false;
+        /** Block evicted to make room, or kInvalidAddr if the fill
+         *  landed in an invalid way (or the access hit/bypassed). */
+        Addr victimBlock = kInvalidAddr;
+    };
+
+    using EventHook = std::function<void(const AccessEvent &)>;
+    void setEventHook(EventHook hook) { eventHook = std::move(hook); }
+
   private:
     struct Line
     {
@@ -193,6 +220,7 @@ class Cache : public MemoryLevel
     std::vector<Line> linesArr;
     CacheStats stats_;
     AccessHook accessHook;
+    EventHook eventHook;
     std::vector<Addr> prefetchScratch;
 };
 

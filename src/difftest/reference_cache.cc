@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Reference cache model implementation.
+ */
+
+#include "difftest/reference_cache.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace cachescope::difftest {
+
+// ------------------------------------------------------------- RefLru --
+
+RefLru::RefLru(const CacheGeometry &geometry) : stacks(geometry.numSets)
+{
+    for (auto &stack : stacks)
+        stack.reserve(geometry.numWays);
+}
+
+std::uint32_t
+RefLru::chooseVictim(std::uint32_t set, const std::vector<Addr> &,
+                     Addr, std::uint64_t)
+{
+    const auto &stack = stacks[set];
+    CS_ASSERT(!stack.empty(), "LRU victim requested for an empty set");
+    return stack.back();
+}
+
+void
+RefLru::onAccess(std::uint32_t set, std::uint32_t way, Addr, AccessType,
+                 bool, std::uint64_t)
+{
+    // Every touch — demand, writeback or prefetch, hit or fill — makes
+    // the way most-recent, exactly like ChampSim's baseline module.
+    auto &stack = stacks[set];
+    auto it = std::find(stack.begin(), stack.end(), way);
+    if (it != stack.end())
+        stack.erase(it);
+    stack.insert(stack.begin(), way);
+}
+
+// ----------------------------------------------------------- RefSrrip --
+
+RefSrrip::RefSrrip(const CacheGeometry &geometry)
+    : ways(geometry.numWays),
+      rrpvs(static_cast<std::size_t>(geometry.numSets) * geometry.numWays,
+            kMaxRrpv)
+{}
+
+std::uint32_t
+RefSrrip::chooseVictim(std::uint32_t set, const std::vector<Addr> &,
+                       Addr, std::uint64_t)
+{
+    std::uint8_t *row = &rrpvs[static_cast<std::size_t>(set) * ways];
+    // Victim = lowest way predicted "distant"; age everyone until one
+    // exists (guaranteed to terminate: aging is monotone).
+    while (true) {
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (row[w] == kMaxRrpv)
+                return w;
+        }
+        for (std::uint32_t w = 0; w < ways; ++w)
+            ++row[w];
+    }
+}
+
+void
+RefSrrip::onAccess(std::uint32_t set, std::uint32_t way, Addr, AccessType,
+                   bool hit, std::uint64_t)
+{
+    std::uint8_t &r = rrpvs[static_cast<std::size_t>(set) * ways + way];
+    // Hit-priority promotion; fills insert at "long" (kMaxRrpv - 1).
+    r = hit ? 0 : kMaxRrpv - 1;
+}
+
+// ---------------------------------------------------------- RefBelady --
+
+RefBelady::RefBelady(const CacheGeometry &geometry,
+                     const std::vector<RefAccess> &stream)
+    : ways(geometry.numWays),
+      nextUse(stream.size(), kNever),
+      lineNextUse(static_cast<std::size_t>(geometry.numSets) *
+                      geometry.numWays,
+                  kNever)
+{
+    // Backward scan: lastSeen[block] is the next use of any earlier
+    // access to the same block.
+    std::unordered_map<Addr, std::uint64_t> last_seen;
+    last_seen.reserve(stream.size());
+    for (std::size_t i = stream.size(); i-- > 0;) {
+        auto it = last_seen.find(stream[i].block);
+        if (it != last_seen.end())
+            nextUse[i] = it->second;
+        last_seen[stream[i].block] = i;
+    }
+}
+
+std::uint32_t
+RefBelady::chooseVictim(std::uint32_t set, const std::vector<Addr> &,
+                        Addr, std::uint64_t pos)
+{
+    CS_ASSERT(pos < nextUse.size(), "access past the announced stream");
+    const std::uint64_t incoming_next = nextUse[pos];
+    const std::uint64_t *row =
+        &lineNextUse[static_cast<std::size_t>(set) * ways];
+    // Victim = the line reused farthest in the future (dead lines,
+    // kNever, win; ties break to the lowest way — any tie is optimal).
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+        if (row[w] > row[victim])
+            victim = w;
+    }
+    // If the incoming line's next use lies beyond every resident's,
+    // installing it cannot help: bypass (OPT with bypass).
+    if (incoming_next >= row[victim])
+        return kBypassWay;
+    return victim;
+}
+
+void
+RefBelady::onAccess(std::uint32_t set, std::uint32_t way, Addr, AccessType,
+                    bool, std::uint64_t pos)
+{
+    CS_ASSERT(pos < nextUse.size(), "access past the announced stream");
+    lineNextUse[static_cast<std::size_t>(set) * ways + way] = nextUse[pos];
+}
+
+// ------------------------------------------------------ ReferenceCache --
+
+ReferenceCache::ReferenceCache(const CacheGeometry &geometry,
+                               std::unique_ptr<ReferencePolicy> policy)
+    : geom(geometry), pol(std::move(policy)),
+      lines(static_cast<std::size_t>(geometry.numSets) * geometry.numWays),
+      logs(geometry.numSets)
+{
+    CS_ASSERT(geom.numSets > 0 && geom.numWays > 0,
+              "reference cache needs a non-empty geometry");
+    CS_ASSERT(pol != nullptr, "reference cache needs a policy");
+    residentScratch.resize(geom.numWays);
+}
+
+RefEvent
+ReferenceCache::access(const RefAccess &acc)
+{
+    const std::uint64_t pos = position++;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(acc.block % geom.numSets);
+    RefLine *row = &lines[static_cast<std::size_t>(set) * geom.numWays];
+
+    RefEvent ev;
+    ev.set = set;
+
+    // Lookup.
+    for (std::uint32_t w = 0; w < geom.numWays; ++w) {
+        if (row[w].valid && row[w].block == acc.block) {
+            ev.hit = true;
+            ev.way = w;
+            ++hits_;
+            pol->onAccess(set, w, acc.block, acc.type, /*hit=*/true, pos);
+            if (logging)
+                logs[set].push_back(ev);
+            return ev;
+        }
+    }
+    ++misses_;
+
+    // Invalid ways fill first, lowest way first, like the simulator.
+    std::uint32_t victim = ReferencePolicy::kBypassWay;
+    for (std::uint32_t w = 0; w < geom.numWays; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ReferencePolicy::kBypassWay) {
+        for (std::uint32_t w = 0; w < geom.numWays; ++w)
+            residentScratch[w] = row[w].block;
+        victim = pol->chooseVictim(set, residentScratch, acc.block, pos);
+        if (victim == ReferencePolicy::kBypassWay) {
+            ++bypasses_;
+            ev.bypassed = true;
+            if (logging)
+                logs[set].push_back(ev);
+            return ev;
+        }
+        CS_ASSERT(victim < geom.numWays,
+                  "reference policy returned a bad way");
+        ev.victimBlock = row[victim].block;
+    }
+
+    row[victim].block = acc.block;
+    row[victim].valid = true;
+    ev.way = victim;
+    pol->onAccess(set, victim, acc.block, acc.type, /*hit=*/false, pos);
+    if (logging)
+        logs[set].push_back(ev);
+    return ev;
+}
+
+const std::vector<RefEvent> &
+ReferenceCache::setLog(std::uint32_t set) const
+{
+    CS_ASSERT(set < logs.size(), "set log out of range");
+    return logs[set];
+}
+
+std::unique_ptr<ReferencePolicy>
+makeReferencePolicy(const std::string &name, const CacheGeometry &geometry,
+                    const std::vector<RefAccess> &stream)
+{
+    if (name == "lru")
+        return std::make_unique<RefLru>(geometry);
+    if (name == "srrip")
+        return std::make_unique<RefSrrip>(geometry);
+    if (name == "belady")
+        return std::make_unique<RefBelady>(geometry, stream);
+    return nullptr;
+}
+
+} // namespace cachescope::difftest

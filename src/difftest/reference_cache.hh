@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The reference cache model for differential testing.
+ *
+ * A deliberately slow, obviously-correct single-level set-associative
+ * cache that replays an access stream and reports per-access outcomes.
+ * It shares no code with core/cache.cc: line state is a plain per-set
+ * array, recency is an explicit MRU->LRU stack, RRIP counters are
+ * re-derived from the paper's pseudocode, and Belady's OPT consults a
+ * precomputed next-use index. Any divergence between this model and the
+ * simulator's Cache under the same stream is a bug in one of them.
+ *
+ * Call protocol mirrored from the simulator (so outcomes compare
+ * one-to-one): invalid ways fill first in way order without consulting
+ * the policy, hits touch the policy, writeback misses install without a
+ * fetch, and a policy may bypass a fill.
+ */
+
+#ifndef CACHESCOPE_DIFFTEST_REFERENCE_CACHE_HH
+#define CACHESCOPE_DIFFTEST_REFERENCE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "replacement/replacement_policy.hh"
+#include "util/types.hh"
+
+namespace cachescope::difftest {
+
+/** One access of a difftest stream (block-granular, demand or not). */
+struct RefAccess
+{
+    Addr block = kInvalidAddr;  ///< block-aligned address
+    Pc pc = 0;
+    AccessType type = AccessType::Load;
+};
+
+/** Outcome of one access through a cache model. */
+struct RefEvent
+{
+    bool hit = false;
+    bool bypassed = false;
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    /** Valid block evicted by the fill, or kInvalidAddr. */
+    Addr victimBlock = kInvalidAddr;
+
+    bool operator==(const RefEvent &) const = default;
+};
+
+/**
+ * Replacement logic of the reference model. Implementations see every
+ * access (hit or fill) and pick victims in full sets. The global
+ * stream position is passed through so offline policies (Belady) can
+ * consult the future.
+ */
+class ReferencePolicy
+{
+  public:
+    static constexpr std::uint32_t kBypassWay = ~std::uint32_t{0};
+
+    virtual ~ReferencePolicy() = default;
+
+    /** @return a short display name ("ref-lru", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose a victim in a full set (every way valid).
+     * @param resident the numWays resident block addresses, by way.
+     * @param incoming the block being filled.
+     * @param pos global 0-based index of this access in the stream.
+     * @return the victim way, or kBypassWay to skip the install.
+     */
+    virtual std::uint32_t chooseVictim(std::uint32_t set,
+                                       const std::vector<Addr> &resident,
+                                       Addr incoming,
+                                       std::uint64_t pos) = 0;
+
+    /** Observe a hit (way already resident) or a fill (way replaced). */
+    virtual void onAccess(std::uint32_t set, std::uint32_t way, Addr block,
+                          AccessType type, bool hit, std::uint64_t pos) = 0;
+};
+
+/** True LRU as an explicit per-set recency stack (front = MRU). */
+class RefLru : public ReferencePolicy
+{
+  public:
+    explicit RefLru(const CacheGeometry &geometry);
+
+    const char *name() const override { return "ref-lru"; }
+    std::uint32_t chooseVictim(std::uint32_t set,
+                               const std::vector<Addr> &resident,
+                               Addr incoming, std::uint64_t pos) override;
+    void onAccess(std::uint32_t set, std::uint32_t way, Addr block,
+                  AccessType type, bool hit, std::uint64_t pos) override;
+
+  private:
+    /** Per-set list of ways, most recent first. */
+    std::vector<std::vector<std::uint32_t>> stacks;
+};
+
+/** SRRIP re-derived from Jaleel et al.: 2-bit RRPVs, hit-priority. */
+class RefSrrip : public ReferencePolicy
+{
+  public:
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    explicit RefSrrip(const CacheGeometry &geometry);
+
+    const char *name() const override { return "ref-srrip"; }
+    std::uint32_t chooseVictim(std::uint32_t set,
+                               const std::vector<Addr> &resident,
+                               Addr incoming, std::uint64_t pos) override;
+    void onAccess(std::uint32_t set, std::uint32_t way, Addr block,
+                  AccessType type, bool hit, std::uint64_t pos) override;
+
+  private:
+    std::uint32_t ways;
+    std::vector<std::uint8_t> rrpvs;  ///< [set * ways + way]
+};
+
+/**
+ * Belady's OPT with bypass: evicts (or refuses to install over) the
+ * line whose next use lies farthest in the future, consulting a
+ * next-use index built from the whole stream up front. Optimal per set,
+ * so its hit count bounds every online policy's on the same stream.
+ */
+class RefBelady : public ReferencePolicy
+{
+  public:
+    static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+    RefBelady(const CacheGeometry &geometry,
+              const std::vector<RefAccess> &stream);
+
+    const char *name() const override { return "ref-belady"; }
+    std::uint32_t chooseVictim(std::uint32_t set,
+                               const std::vector<Addr> &resident,
+                               Addr incoming, std::uint64_t pos) override;
+    void onAccess(std::uint32_t set, std::uint32_t way, Addr block,
+                  AccessType type, bool hit, std::uint64_t pos) override;
+
+  private:
+    std::uint32_t ways;
+    /** nextUse[i] = next position accessing stream[i].block, or kNever. */
+    std::vector<std::uint64_t> nextUse;
+    /** Next use of the line resident in [set * ways + way]. */
+    std::vector<std::uint64_t> lineNextUse;
+};
+
+/**
+ * The reference model proper: line state plus a pluggable policy.
+ */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(const CacheGeometry &geometry,
+                   std::unique_ptr<ReferencePolicy> policy);
+
+    /** Replay one access; @return its fully resolved outcome. */
+    RefEvent access(const RefAccess &acc);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t bypasses() const { return bypasses_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+
+    const ReferencePolicy &policy() const { return *pol; }
+
+    /**
+     * Per-set event log (every outcome of every access to the set, in
+     * order) — the auditable artifact a failing differential run dumps.
+     */
+    const std::vector<RefEvent> &setLog(std::uint32_t set) const;
+
+    /** Enable/disable per-set event logging (off by default). */
+    void setLogging(bool enabled) { logging = enabled; }
+
+  private:
+    struct RefLine
+    {
+        Addr block = kInvalidAddr;
+        bool valid = false;
+    };
+
+    CacheGeometry geom;
+    std::unique_ptr<ReferencePolicy> pol;
+    std::vector<RefLine> lines;     ///< [set * ways + way]
+    std::vector<std::vector<RefEvent>> logs;
+    std::vector<Addr> residentScratch;
+    std::uint64_t position = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t bypasses_ = 0;
+    bool logging = false;
+};
+
+/**
+ * @return a reference policy instance for @p name ("lru", "srrip",
+ * "belady"), or nullptr if the name has no reference implementation.
+ * Belady needs the whole stream to build its future index.
+ */
+std::unique_ptr<ReferencePolicy>
+makeReferencePolicy(const std::string &name, const CacheGeometry &geometry,
+                    const std::vector<RefAccess> &stream);
+
+} // namespace cachescope::difftest
+
+#endif // CACHESCOPE_DIFFTEST_REFERENCE_CACHE_HH

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Stream generator implementations.
+ */
+
+#include "difftest/stream_fuzzer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cachescope::difftest {
+
+namespace {
+
+/** Base of the synthetic PC space (arbitrary, recognizable). */
+constexpr Pc kPcBase = 0x400000;
+
+/** Block-aligned byte address for block index @p b. */
+Addr
+blockAddr(const StreamSpec &spec, std::uint64_t b)
+{
+    return b * spec.geometry.blockBytes;
+}
+
+/** Emit one memory record, with a store mix ratio and PC choice. */
+void
+emitMem(std::vector<TraceRecord> &out, Rng &rng, Pc pc, Addr addr,
+        double store_prob)
+{
+    if (rng.nextBool(store_prob))
+        out.push_back(TraceRecord::store(pc, addr));
+    else
+        out.push_back(TraceRecord::load(pc, addr));
+}
+
+/** Sprinkle ALU/branch filler so Simulator runs exercise the frontend. */
+void
+emitFiller(std::vector<TraceRecord> &out, Rng &rng, Pc pc)
+{
+    if (rng.nextBool(0.15))
+        out.push_back(TraceRecord::alu(pc + 4));
+    if (rng.nextBool(0.05))
+        out.push_back(TraceRecord::branch(pc + 8));
+}
+
+/**
+ * Cyclic scans over a working set of K x (ways x sets) blocks, with K
+ * drawn from just-fits through 2x-thrash. Direction occasionally
+ * reverses and the scan restarts from random phases, the classic
+ * LRU-pathological / RRIP-friendly family.
+ */
+void
+genScanThrash(const StreamSpec &spec, Rng &rng,
+              std::vector<TraceRecord> &out)
+{
+    const std::uint64_t cache_blocks =
+        std::uint64_t{spec.geometry.numSets} * spec.geometry.numWays;
+    // K in {0.5, 1, 1.25, 1.5, 2} of the cache size.
+    constexpr double kFactors[] = {0.5, 1.0, 1.25, 1.5, 2.0};
+    const double k = kFactors[rng.nextBounded(5)];
+    const std::uint64_t ws = std::max<std::uint64_t>(
+        spec.geometry.numWays,
+        static_cast<std::uint64_t>(static_cast<double>(cache_blocks) * k));
+    const std::uint64_t base = rng.nextBounded(1 << 20);
+    const double store_prob = rng.nextDouble() * 0.3;
+
+    std::uint64_t cursor = rng.nextBounded(ws);
+    bool forward = true;
+    for (std::size_t i = 0; i < spec.memoryAccesses; ++i) {
+        const Pc pc = kPcBase + 16 * (cursor % 7);
+        emitMem(out, rng, pc, blockAddr(spec, base + cursor), store_prob);
+        emitFiller(out, rng, pc);
+        cursor = forward ? (cursor + 1) % ws : (cursor + ws - 1) % ws;
+        if (rng.nextBool(0.001)) {
+            forward = !forward;
+            cursor = rng.nextBounded(ws);
+        }
+    }
+}
+
+/** Random permutation walk: every access depends on the previous one. */
+void
+genPointerChase(const StreamSpec &spec, Rng &rng,
+                std::vector<TraceRecord> &out)
+{
+    const std::uint64_t cache_blocks =
+        std::uint64_t{spec.geometry.numSets} * spec.geometry.numWays;
+    const std::uint64_t n =
+        cache_blocks * (1 + rng.nextBounded(7));  // 1x..7x the cache
+    std::vector<std::uint32_t> next(n);
+    std::iota(next.begin(), next.end(), 0u);
+    // Fisher-Yates into a single cycle-free permutation.
+    for (std::uint64_t i = n - 1; i > 0; --i) {
+        const std::uint64_t j = rng.nextBounded(i + 1);
+        std::swap(next[i], next[j]);
+    }
+    const std::uint64_t base = rng.nextBounded(1 << 20);
+    std::uint64_t node = rng.nextBounded(n);
+    for (std::size_t i = 0; i < spec.memoryAccesses; ++i) {
+        emitMem(out, rng, kPcBase + 32, blockAddr(spec, base + node), 0.0);
+        emitFiller(out, rng, kPcBase + 32);
+        node = next[node];
+    }
+}
+
+/**
+ * Graph-like: one or two PCs issue uniform random accesses over a large
+ * footprint. PC-indexed predictors (SHiP, Hawkeye, Glider, MPPPB) see a
+ * single starved signature carrying no signal.
+ */
+void
+genPcStarved(const StreamSpec &spec, Rng &rng,
+             std::vector<TraceRecord> &out)
+{
+    const std::uint64_t cache_blocks =
+        std::uint64_t{spec.geometry.numSets} * spec.geometry.numWays;
+    const std::uint64_t footprint = cache_blocks * (2 + rng.nextBounded(7));
+    const std::uint64_t base = rng.nextBounded(1 << 20);
+    const unsigned num_pcs = 1 + static_cast<unsigned>(rng.nextBounded(2));
+    for (std::size_t i = 0; i < spec.memoryAccesses; ++i) {
+        const Pc pc = kPcBase + 16 * rng.nextBounded(num_pcs);
+        const std::uint64_t b = rng.nextBounded(footprint);
+        emitMem(out, rng, pc, blockAddr(spec, base + b), 0.1);
+    }
+}
+
+/**
+ * A zipf-distributed hot set that fits in the cache, interleaved with
+ * cold scan bursts that do not — the pattern that flips DIP/DRRIP
+ * set-duels back and forth.
+ */
+void
+genMixedWorkingSets(const StreamSpec &spec, Rng &rng,
+                    std::vector<TraceRecord> &out)
+{
+    const std::uint64_t cache_blocks =
+        std::uint64_t{spec.geometry.numSets} * spec.geometry.numWays;
+    const std::uint64_t hot = std::max<std::uint64_t>(8, cache_blocks / 2);
+    const std::uint64_t cold = cache_blocks * 4;
+    const std::uint64_t hot_base = rng.nextBounded(1 << 20);
+    const std::uint64_t cold_base = hot_base + hot + rng.nextBounded(1 << 20);
+    const double zipf_s = 0.5 + rng.nextDouble();
+    std::uint64_t cold_cursor = 0;
+    std::size_t i = 0;
+    while (i < spec.memoryAccesses) {
+        if (rng.nextBool(0.1)) {
+            // Cold scan burst.
+            const std::size_t burst =
+                std::min<std::size_t>(spec.memoryAccesses - i,
+                                      64 + rng.nextBounded(256));
+            for (std::size_t j = 0; j < burst; ++j, ++i) {
+                emitMem(out, rng, kPcBase + 96,
+                        blockAddr(spec, cold_base + cold_cursor), 0.05);
+                cold_cursor = (cold_cursor + 1) % cold;
+            }
+        } else {
+            const std::uint64_t b = rng.nextZipf(hot, zipf_s);
+            const Pc pc = kPcBase + 16 * (b % 5);
+            emitMem(out, rng, pc, blockAddr(spec, hot_base + b), 0.3);
+            emitFiller(out, rng, pc);
+            ++i;
+        }
+    }
+}
+
+/**
+ * Long unit-stride runs (textbook prefetcher food) punctuated by random
+ * hot-set touches, so a prefetching hierarchy fills lines the demand
+ * stream then evicts — the prefetch-pollution bookkeeping family.
+ */
+void
+genPrefetchPolluted(const StreamSpec &spec, Rng &rng,
+                    std::vector<TraceRecord> &out)
+{
+    const std::uint64_t cache_blocks =
+        std::uint64_t{spec.geometry.numSets} * spec.geometry.numWays;
+    const std::uint64_t hot = std::max<std::uint64_t>(8, cache_blocks / 4);
+    const std::uint64_t hot_base = rng.nextBounded(1 << 20);
+    std::uint64_t stream_base = hot_base + hot + rng.nextBounded(1 << 20);
+    std::size_t i = 0;
+    while (i < spec.memoryAccesses) {
+        const std::size_t run = std::min<std::size_t>(
+            spec.memoryAccesses - i, 16 + rng.nextBounded(48));
+        for (std::size_t j = 0; j < run && i < spec.memoryAccesses; ++j) {
+            emitMem(out, rng, kPcBase + 48,
+                    blockAddr(spec, stream_base + j), 0.0);
+            ++i;
+            if (i < spec.memoryAccesses && rng.nextBool(0.25)) {
+                emitMem(out, rng, kPcBase + 64,
+                        blockAddr(spec, hot_base + rng.nextBounded(hot)),
+                        0.5);
+                ++i;
+            }
+        }
+        stream_base += run + rng.nextBounded(1 << 12);
+    }
+}
+
+} // anonymous namespace
+
+const char *
+streamKindName(StreamKind kind)
+{
+    switch (kind) {
+      case StreamKind::ScanThrash: return "scan_thrash";
+      case StreamKind::PointerChase: return "pointer_chase";
+      case StreamKind::PcStarved: return "pc_starved";
+      case StreamKind::MixedWorkingSets: return "mixed_working_sets";
+      case StreamKind::PrefetchPolluted: return "prefetch_polluted";
+    }
+    return "unknown";
+}
+
+StreamKind
+kindForSeed(std::uint64_t seed)
+{
+    // Decorrelate the kind choice from the stream RNG (which consumes
+    // the seed itself) with one splitmix-style scramble.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<StreamKind>((z ^ (z >> 31)) % kNumStreamKinds);
+}
+
+std::vector<TraceRecord>
+generateStream(const StreamSpec &spec)
+{
+    CS_ASSERT(spec.geometry.numSets > 0 && spec.geometry.numWays > 0,
+              "stream generator needs a non-empty geometry");
+    Rng rng(spec.seed ^ (static_cast<std::uint64_t>(spec.kind) << 56));
+    std::vector<TraceRecord> out;
+    out.reserve(spec.memoryAccesses + spec.memoryAccesses / 4);
+    switch (spec.kind) {
+      case StreamKind::ScanThrash:
+        genScanThrash(spec, rng, out);
+        break;
+      case StreamKind::PointerChase:
+        genPointerChase(spec, rng, out);
+        break;
+      case StreamKind::PcStarved:
+        genPcStarved(spec, rng, out);
+        break;
+      case StreamKind::MixedWorkingSets:
+        genMixedWorkingSets(spec, rng, out);
+        break;
+      case StreamKind::PrefetchPolluted:
+        genPrefetchPolluted(spec, rng, out);
+        break;
+    }
+    return out;
+}
+
+std::vector<TraceRecord>
+memoryRecordsOf(const std::vector<TraceRecord> &stream)
+{
+    std::vector<TraceRecord> mem;
+    mem.reserve(stream.size());
+    for (const TraceRecord &rec : stream) {
+        if (rec.isMemory())
+            mem.push_back(rec);
+    }
+    return mem;
+}
+
+} // namespace cachescope::difftest

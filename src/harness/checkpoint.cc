@@ -116,14 +116,27 @@ CheckpointJournal::open(const std::string &path)
         in.close();
         const std::string contents = raw.str();
 
-        std::istringstream lines(contents);
-        std::string line;
+        // Walk the file line by line, tracking byte offsets, so a tail
+        // left by an interrupted append — torn mid-line or complete
+        // but unparseable — can be truncated back to the last intact
+        // record instead of rejecting or silently keeping wreckage.
+        std::size_t keep_end = 0;  ///< bytes up to the last intact line
         std::size_t line_no = 0;
-        bool saw_any = false;
-        while (std::getline(lines, line)) {
+        std::size_t pos = 0;
+        while (pos < contents.size()) {
+            const std::size_t nl = contents.find('\n', pos);
+            const bool torn = nl == std::string::npos;
+            const std::size_t line_end =
+                torn ? contents.size() : nl + 1;
+            const std::string line = contents.substr(
+                pos, torn ? std::string::npos : nl - pos);
             ++line_no;
             if (line_no == 1) {
-                saw_any = true;
+                if (torn) {
+                    // The run died while writing the very first line.
+                    // Nothing intact exists: treat as a fresh journal.
+                    break;
+                }
                 if (line != kJournalHeader) {
                     return corruptionError(
                         "'%s' is not a cachescope checkpoint journal "
@@ -131,45 +144,51 @@ CheckpointJournal::open(const std::string &path)
                         path.c_str());
                 }
                 needs_header = false;
+                keep_end = line_end;
+                pos = line_end;
                 continue;
             }
-            if (line.empty())
+            if (torn) {
+                // Mid-line torn write: the classic killed-mid-append
+                // signature. The partial record re-runs.
+                break;
+            }
+            if (line.empty()) {
+                keep_end = line_end;
+                pos = line_end;
                 continue;
+            }
             auto outcome = deserialize(line);
             if (!outcome.ok()) {
-                // A ragged final line is the signature of a run killed
-                // mid-append; that cell simply re-runs.
+                // Malformed but newline-terminated. Skip it; keep_end
+                // stays put, so unless an intact record follows, the
+                // file is truncated back to here and the cell re-runs.
                 warn("checkpoint '%s' line %zu ignored (%s)",
                      path.c_str(), line_no,
                      outcome.status().message().c_str());
+                pos = line_end;
                 continue;
             }
             Key key{outcome->workload, outcome->policy};
             entries[std::move(key)] = outcome.take();
+            keep_end = line_end;
+            pos = line_end;
         }
-        // An empty existing file gets a header like a fresh one.
-        needs_header = !saw_any;
 
-        // Truncate any bytes after the last newline so new appends are
-        // not glued onto the wreckage of an interrupted one.
-        if (!contents.empty() && contents.back() != '\n') {
-            const std::size_t last_nl = contents.find_last_of('\n');
-            const std::uintmax_t new_size =
-                last_nl == std::string::npos ? 0 : last_nl + 1;
-            warn("checkpoint '%s': dropping %zu byte(s) left by an "
-                 "interrupted append",
-                 path.c_str(),
-                 contents.size() - static_cast<std::size_t>(new_size));
+        if (keep_end < contents.size()) {
+            warn("checkpoint '%s': truncating %zu byte(s) after the "
+                 "last intact record (interrupted append)",
+                 path.c_str(), contents.size() - keep_end);
             std::error_code ec;
-            std::filesystem::resize_file(path, new_size, ec);
+            std::filesystem::resize_file(path, keep_end, ec);
             if (ec) {
                 return ioError(
                     "cannot repair checkpoint journal '%s': %s",
                     path.c_str(), ec.message().c_str());
             }
-            if (new_size == 0)
-                needs_header = true;
         }
+        if (keep_end == 0)
+            needs_header = true;
     }
 
     file = std::fopen(path.c_str(), "ab");

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -310,6 +311,87 @@ TEST(CheckpointJournal, ConcurrentAppendsNeverCorruptTheJournal)
                       static_cast<Cycle>(1000 + i));
         }
     }
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, TruncatesCorruptFinalLineToLastValidRecord)
+{
+    const std::string path = tempJournalPath("corrupt_final");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 2000)).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("pr", "lru", 900)).ok());
+    }
+    const auto good_size = std::filesystem::file_size(path);
+    // Corrupt the final record: newline-terminated, wrong field count —
+    // the signature of a torn write that happened to land on a '\n'.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "cc\tlru\tnot-a-number\n";
+    }
+    ASSERT_GT(std::filesystem::file_size(path), good_size);
+
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 2u);
+    EXPECT_EQ(resumed.find("cc", "lru"), nullptr);
+    resumed.close();
+    // The wreckage must be gone from disk, not merely skipped, so the
+    // next append is not glued onto a half-written record.
+    EXPECT_EQ(std::filesystem::file_size(path), good_size);
+
+    CheckpointJournal third;
+    ASSERT_TRUE(third.open(path).ok());
+    EXPECT_EQ(third.completedCells(), 2u);
+    ASSERT_TRUE(third.append(makeOutcome("cc", "lru", 700)).ok());
+    third.close();
+
+    CheckpointJournal fourth;
+    ASSERT_TRUE(fourth.open(path).ok());
+    EXPECT_EQ(fourth.completedCells(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, RecoversFromTornHeaderLine)
+{
+    const std::string path = tempJournalPath("torn_header");
+    std::remove(path.c_str());
+    // A run killed while writing the very first line leaves a torn,
+    // unterminated header prefix. That is wreckage, not a foreign
+    // file: open() must recover to an empty journal, not refuse.
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "cachescope-check";
+    }
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    EXPECT_EQ(journal.completedCells(), 0u);
+    ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 1200)).ok());
+    journal.close();
+
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 1u);
+    EXPECT_NE(resumed.find("bfs", "lru"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, StillRefusesCompleteForeignFirstLine)
+{
+    const std::string path = tempJournalPath("foreign_complete");
+    std::remove(path.c_str());
+    // A complete (newline-terminated) non-header first line is a
+    // foreign file, not a torn write; refusing protects user data.
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "some other file format\n";
+    }
+    CheckpointJournal journal;
+    const Status st = journal.open(path);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::Corruption);
     std::remove(path.c_str());
 }
 

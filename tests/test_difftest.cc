@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the differential-testing subsystem: reference-model
+ * semantics, fuzz-stream determinism, run-matrix completeness against
+ * the live policy registry, the invariant families on clean streams,
+ * and the injected-bug path (an off-by-one LRU must be caught and
+ * minimized to a small repro).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "difftest/difftest.hh"
+#include "difftest/reference_cache.hh"
+#include "difftest/stream_fuzzer.hh"
+
+namespace cachescope::difftest {
+namespace {
+
+CacheGeometry
+tinyGeometry()
+{
+    return CacheGeometry{4, 2, 64};
+}
+
+RefAccess
+acc(Addr block)
+{
+    return RefAccess{block, 0x400000, AccessType::Load};
+}
+
+Expected<std::unique_ptr<DifferentialDriver>>
+makeDriver(std::size_t accesses = 4096, bool inject = false)
+{
+    DiffOptions opts;
+    opts.memoryAccesses = accesses;
+    opts.scratchDir = ::testing::TempDir();
+    opts.injectOffByOneLru = inject;
+    return DifferentialDriver::create(opts);
+}
+
+// ---------------------------------------------------------------------
+// Reference models
+// ---------------------------------------------------------------------
+
+TEST(RefLru, EvictsLeastRecentlyTouchedWay)
+{
+    // One set (4 sets, but all accesses map to set 0), 2 ways.
+    ReferenceCache cache(tinyGeometry(),
+                         std::make_unique<RefLru>(tinyGeometry()));
+    // Blocks 0, 4, 8 all land in set 0 (block % 4 == 0).
+    EXPECT_FALSE(cache.access(acc(0)).hit);   // fill way 0
+    EXPECT_FALSE(cache.access(acc(4)).hit);   // fill way 1
+    EXPECT_TRUE(cache.access(acc(0)).hit);    // refresh block 0
+    const RefEvent ev = cache.access(acc(8)); // must evict block 4
+    EXPECT_FALSE(ev.hit);
+    EXPECT_EQ(ev.way, 1u);
+    EXPECT_EQ(ev.victimBlock, Addr{4});
+    EXPECT_TRUE(cache.access(acc(0)).hit); // block 0 survived
+}
+
+TEST(RefSrrip, InsertsAtLongAndPromotesOnHit)
+{
+    ReferenceCache cache(tinyGeometry(),
+                         std::make_unique<RefSrrip>(tinyGeometry()));
+    cache.access(acc(0)); // rrpv 2
+    cache.access(acc(4)); // rrpv 2
+    cache.access(acc(0)); // hit: rrpv 0
+    // Fill: both ways valid; aging raises way 1 (rrpv 2 -> 3) first.
+    const RefEvent ev = cache.access(acc(8));
+    EXPECT_FALSE(ev.hit);
+    EXPECT_EQ(ev.way, 1u);
+    EXPECT_EQ(ev.victimBlock, Addr{4});
+}
+
+TEST(RefBelady, EvictsFarthestNextUseAndBypassesDeadFills)
+{
+    const CacheGeometry geom = tinyGeometry();
+    // Set 0 stream: 0, 4, 8, 0, 4 — when 8 arrives, 0 is reused at #3
+    // and 4 at #4, while 8 is never reused: OPT must bypass 8.
+    const std::vector<RefAccess> stream = {acc(0), acc(4), acc(8),
+                                           acc(0), acc(4)};
+    ReferenceCache cache(geom,
+                         std::make_unique<RefBelady>(geom, stream));
+    EXPECT_FALSE(cache.access(stream[0]).hit);
+    EXPECT_FALSE(cache.access(stream[1]).hit);
+    const RefEvent ev = cache.access(stream[2]);
+    EXPECT_TRUE(ev.bypassed);
+    EXPECT_TRUE(cache.access(stream[3]).hit);
+    EXPECT_TRUE(cache.access(stream[4]).hit);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.bypasses(), 1u);
+}
+
+TEST(ReferenceCache, PerSetEventLogsRecordEveryOutcome)
+{
+    ReferenceCache cache(tinyGeometry(),
+                         std::make_unique<RefLru>(tinyGeometry()));
+    cache.setLogging(true);
+    cache.access(acc(0));
+    cache.access(acc(1)); // set 1
+    cache.access(acc(0));
+    ASSERT_EQ(cache.setLog(0).size(), 2u);
+    EXPECT_FALSE(cache.setLog(0)[0].hit);
+    EXPECT_TRUE(cache.setLog(0)[1].hit);
+    ASSERT_EQ(cache.setLog(1).size(), 1u);
+    EXPECT_TRUE(cache.setLog(2).empty());
+}
+
+// ---------------------------------------------------------------------
+// Stream fuzzer
+// ---------------------------------------------------------------------
+
+TEST(StreamFuzzer, SameSeedYieldsIdenticalStreams)
+{
+    StreamSpec spec;
+    spec.seed = 42;
+    spec.kind = kindForSeed(42);
+    spec.memoryAccesses = 2000;
+    const auto a = generateStream(spec);
+    const auto b = generateStream(spec);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(memoryRecordsOf(a).size(), spec.memoryAccesses);
+}
+
+TEST(StreamFuzzer, SeedMixReachesEveryStreamKind)
+{
+    std::set<StreamKind> seen;
+    for (std::uint64_t seed = 0; seed < 64; ++seed)
+        seen.insert(kindForSeed(seed));
+    EXPECT_EQ(seen.size(), kNumStreamKinds);
+}
+
+TEST(StreamFuzzer, EveryKindProducesTheRequestedMemoryAccesses)
+{
+    for (std::size_t k = 0; k < kNumStreamKinds; ++k) {
+        StreamSpec spec;
+        spec.seed = 7;
+        spec.kind = static_cast<StreamKind>(k);
+        spec.memoryAccesses = 1500;
+        const auto stream = generateStream(spec);
+        EXPECT_EQ(memoryRecordsOf(stream).size(), spec.memoryAccesses)
+            << streamKindName(spec.kind);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run matrix
+// ---------------------------------------------------------------------
+
+TEST(RunMatrix, CoversEveryRegisteredPolicy)
+{
+    auto matrix = buildRunMatrix();
+    ASSERT_TRUE(matrix.ok()) << matrix.status().toString();
+
+    std::set<std::string> covered;
+    for (const RunMatrixEntry &entry : *matrix)
+        covered.insert(entry.policy);
+    const auto registered = ReplacementPolicyFactory::availablePolicies();
+    EXPECT_EQ(covered.size(), registered.size());
+    for (const std::string &name : registered)
+        EXPECT_TRUE(covered.count(name)) << name;
+}
+
+TEST(RunMatrix, FailsToBuildWhenAPolicyIsUncovered)
+{
+    auto registered = ReplacementPolicyFactory::availablePolicies();
+    registered.push_back("brand_new_policy");
+    auto matrix = buildRunMatrixFor(registered);
+    EXPECT_FALSE(matrix.ok());
+    EXPECT_NE(matrix.status().toString().find("brand_new_policy"),
+              std::string::npos);
+}
+
+TEST(RunMatrix, FailsToBuildWhenCoverageListsAGhostPolicy)
+{
+    auto registered = ReplacementPolicyFactory::availablePolicies();
+    // Drop one policy the coverage table mentions.
+    registered.erase(std::find(registered.begin(), registered.end(),
+                               std::string("srrip")));
+    auto matrix = buildRunMatrixFor(registered);
+    EXPECT_FALSE(matrix.ok());
+    EXPECT_NE(matrix.status().toString().find("srrip"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Invariant families on clean streams
+// ---------------------------------------------------------------------
+
+TEST(DifferentialDriver, CleanSeedsViolateNothing)
+{
+    auto driver = makeDriver(/*accesses=*/2048);
+    ASSERT_TRUE(driver.ok()) << driver.status().toString();
+    // A handful of seeds; the CI fuzz-smoke job covers volume.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto failures = (*driver)->runSeed(seed);
+        ASSERT_TRUE(failures.ok()) << failures.status().toString();
+        for (const DiffFailure &f : *failures)
+            ADD_FAILURE() << "seed " << seed << ": " << f.invariant
+                          << " — " << f.detail;
+    }
+}
+
+TEST(DifferentialDriver, ModelAgreementHoldsAcrossStreamKinds)
+{
+    DiffOptions opts;
+    opts.memoryAccesses = 4096;
+    opts.checkSweep = false;
+    opts.checkConservation = false;
+    auto driver = DifferentialDriver::create(opts);
+    ASSERT_TRUE(driver.ok());
+    for (std::uint64_t seed = 10; seed < 25; ++seed) {
+        auto failures = (*driver)->runSeed(seed);
+        ASSERT_TRUE(failures.ok());
+        EXPECT_TRUE(failures->empty())
+            << "seed " << seed << ": " << failures->front().detail;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bug injection, detection, minimization
+// ---------------------------------------------------------------------
+
+TEST(DifferentialDriver, CatchesInjectedOffByOneLru)
+{
+    auto driver = makeDriver(/*accesses=*/4096, /*inject=*/true);
+    ASSERT_TRUE(driver.ok());
+    auto failures = (*driver)->runSeed(1);
+    ASSERT_TRUE(failures.ok());
+    ASSERT_FALSE(failures->empty())
+        << "the injected off-by-one LRU escaped the differential net";
+    const DiffFailure &f = failures->front();
+    EXPECT_EQ(f.invariant, "model_agreement:lru");
+    EXPECT_NE(f.firstBadAccess, kNoAccess);
+    EXPECT_FALSE(f.detail.empty());
+}
+
+TEST(DifferentialDriver, MinimizesInjectedBugBelowFourThousandAccesses)
+{
+    auto driver = makeDriver(/*accesses=*/8192, /*inject=*/true);
+    ASSERT_TRUE(driver.ok());
+    auto failures = (*driver)->runSeed(1);
+    ASSERT_TRUE(failures.ok());
+    ASSERT_FALSE(failures->empty());
+    const DiffFailure &f = failures->front();
+
+    const auto stream = (*driver)->streamForSeed(1);
+    const auto shrunk = (*driver)->minimize(stream, f);
+    EXPECT_LE(shrunk.stream.size(), 4096u)
+        << "minimizer left " << shrunk.stream.size() << " records";
+    EXPECT_LT(shrunk.stream.size(), stream.size());
+    // The shrunk stream must still reproduce the violation.
+    EXPECT_TRUE((*driver)->failsOn(shrunk.stream, 1, f.invariant));
+}
+
+TEST(DifferentialDriver, FailsOnIsCleanForHealthyStreams)
+{
+    auto driver = makeDriver(/*accesses=*/2048);
+    ASSERT_TRUE(driver.ok());
+    const auto stream = (*driver)->streamForSeed(5);
+    EXPECT_FALSE((*driver)->failsOn(stream, 5, "model_agreement:lru"));
+    EXPECT_FALSE((*driver)->failsOn(stream, 5, "model_agreement:srrip"));
+    EXPECT_FALSE((*driver)->failsOn(stream, 5, "opt_dominance:ship"));
+}
+
+// ---------------------------------------------------------------------
+// OPT dominance sanity: the oracle itself beats (or ties) LRU
+// ---------------------------------------------------------------------
+
+TEST(RefBelady, DominatesLruOnAThrashingStream)
+{
+    const CacheGeometry geom{16, 4, 64};
+    // Cyclic scan over 1.5x the cache: pathological for LRU.
+    std::vector<RefAccess> stream;
+    const std::uint64_t ws = 16 * 4 * 3 / 2;
+    for (int round = 0; round < 40; ++round)
+        for (std::uint64_t b = 0; b < ws; ++b)
+            stream.push_back(acc(b));
+
+    ReferenceCache lru(geom, std::make_unique<RefLru>(geom));
+    ReferenceCache opt(geom, std::make_unique<RefBelady>(geom, stream));
+    for (const RefAccess &a : stream) {
+        lru.access(a);
+        opt.access(a);
+    }
+    // LRU thrashes to zero hits on a cyclic over-capacity scan.
+    EXPECT_GT(opt.hits(), lru.hits());
+}
+
+} // namespace
+} // namespace cachescope::difftest

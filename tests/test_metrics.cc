@@ -253,6 +253,76 @@ metricsTestConfig(const std::string &policy = "lru")
     return cfg;
 }
 
+TEST(MetricsJson, ZeroSampleHistogramRoundTrips)
+{
+    MetricsDocument doc;
+    doc.name = "empty-hist";
+    Histogram h(50, 6);
+    doc.metrics.setHistogram("latency", h); // never add()ed
+
+    auto parsed_or = metricsFromJson(metricsToJson(doc));
+    ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().toString();
+    const auto &snap =
+        parsed_or.value().metrics.histograms().at("latency");
+    EXPECT_EQ(snap.width, 50u);
+    EXPECT_EQ(snap.samples, 0u);
+    // 6 requested buckets plus the overflow bucket.
+    ASSERT_EQ(snap.counts.size(), 7u);
+    for (std::uint64_t c : snap.counts)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(MetricsJson, CounterAtUint64MaxRoundTripsExactly)
+{
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max(); // 2^64 - 1
+    MetricsDocument doc;
+    doc.name = "u64max";
+    doc.metrics.setCounter("edge.max", kMax);
+    doc.metrics.setCounter("edge.max_minus_one", kMax - 1);
+    doc.metrics.setCounter("edge.zero", 0);
+
+    auto parsed_or = metricsFromJson(metricsToJson(doc));
+    ASSERT_TRUE(parsed_or.ok()) << parsed_or.status().toString();
+    // A parser that detours through double would land on 2^64 exactly
+    // and lose the low bits of both values.
+    EXPECT_EQ(parsed_or.value().metrics.counter("edge.max"), kMax);
+    EXPECT_EQ(parsed_or.value().metrics.counter("edge.max_minus_one"),
+              kMax - 1);
+    EXPECT_EQ(parsed_or.value().metrics.counter("edge.zero"), 0u);
+}
+
+TEST(MetricsRegistry, MergeWithDisjointKeysKeepsBothSides)
+{
+    MetricsRegistry a, b;
+    a.setCounter("only.in.a", 1);
+    a.setGauge("gauge.a", 1.5);
+    b.setCounter("only.in.b", 2);
+    b.setGauge("gauge.b", -2.5);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("only.in.a"), 1u);
+    EXPECT_EQ(a.counter("only.in.b"), 2u);
+    EXPECT_DOUBLE_EQ(a.gauge("gauge.a"), 1.5);
+    EXPECT_DOUBLE_EQ(a.gauge("gauge.b"), -2.5);
+    EXPECT_EQ(a.counters().size(), 2u);
+    EXPECT_EQ(a.gauges().size(), 2u);
+}
+
+TEST(MetricsRegistry, MergeWithOverlappingKeysSumsAndOverwrites)
+{
+    MetricsRegistry a, b;
+    a.setCounter("shared.counter", 10);
+    a.setGauge("shared.gauge", 1.0);
+    b.setCounter("shared.counter", 32);
+    b.setGauge("shared.gauge", 9.0);
+
+    a.merge(b);
+    // Counters sum; gauges take the incoming value.
+    EXPECT_EQ(a.counter("shared.counter"), 42u);
+    EXPECT_DOUBLE_EQ(a.gauge("shared.gauge"), 9.0);
+}
+
 TEST(SimResultMetrics, ExportMatchesStatsStructs)
 {
     MiniWorkload w;
