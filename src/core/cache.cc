@@ -7,6 +7,7 @@
 
 #include "dram/dram.hh"
 #include "stats/metrics.hh"
+#include "util/failpoint.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
 
@@ -138,6 +139,12 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *next,
       repl(std::move(policy)), prefetch(makePrefetcher(config.prefetcher)),
       linesArr(static_cast<std::size_t>(sets) * config.numWays)
 {
+    // The line array above is the simulator's big build-up allocation;
+    // this site stands in for it failing (std::bad_alloc territory) so
+    // the harness's per-cell isolation can be exercised against
+    // resource exhaustion during construction.
+    if (failpoint::anyArmed())
+        failpoint::hitOrThrow("sim.build.alloc");
     CS_ASSERT(below != nullptr, "cache needs a level below");
     CS_ASSERT(repl != nullptr, "cache needs a replacement policy");
     CS_ASSERT(repl->geometry().numSets == sets &&

@@ -6,6 +6,7 @@
 #include "core/simulator.hh"
 
 #include "stats/summary.hh"
+#include "util/failpoint.hh"
 
 namespace cachescope {
 
@@ -82,6 +83,16 @@ Simulator::onInstruction(const TraceRecord &rec)
 {
     if (budgetExhausted)
         return;
+
+    // The cooperative polling point: cheap enough to sit in the hot
+    // loop (one mask + predictable branch when idle), frequent enough
+    // that deadlines and ^C are observed promptly.
+    if ((consumed & (kCancelPollInterval - 1)) == 0) [[unlikely]] {
+        if (cfg.cancel && cfg.cancel->cancelled())
+            throw CancelledError(cfg.cancel->reason());
+        if (failpoint::anyArmed())
+            failpoint::hitOrThrow("sim.loop");
+    }
 
     if (!warmupDone && consumed >= cfg.warmupInstructions) {
         warmupDone = true;

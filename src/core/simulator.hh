@@ -14,6 +14,7 @@
 #include "core/hierarchy.hh"
 #include "stats/metrics.hh"
 #include "trace/record.hh"
+#include "util/cancel.hh"
 #include "util/status.hh"
 
 namespace cachescope {
@@ -27,6 +28,13 @@ struct SimConfig
     InstCount warmupInstructions = 0;
     /** Measured instructions after warmup; 0 = until the trace ends. */
     InstCount measureInstructions = 0;
+    /**
+     * Cooperative-cancellation token (not owned; may be null). The
+     * instruction loop polls it every kCancelPollInterval instructions
+     * and unwinds with CancelledError once it fires — this is how
+     * --cell-timeout-s / --deadline-s / ^C reap a running simulation.
+     */
+    const CancelToken *cancel = nullptr;
 
     /**
      * Validate every cache level's geometry plus its replacement-policy
@@ -83,6 +91,14 @@ struct SimResult
 class Simulator : public InstructionSink
 {
   public:
+    /**
+     * Instructions between cancellation/failpoint polls in the main
+     * loop. Power of two so the check is one mask + branch; small
+     * enough that a 1-second timeout is observed within microseconds
+     * of simulated work.
+     */
+    static constexpr InstCount kCancelPollInterval = 16384;
+
     explicit Simulator(const SimConfig &config);
 
     /** Construct with an injected LLC policy instance (Belady). */

@@ -5,12 +5,17 @@
 
 #include "harness/checkpoint.hh"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cinttypes>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "stats/metrics.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 
@@ -18,11 +23,15 @@ namespace cachescope {
 
 namespace {
 
-/** First line of every journal; bump the suffix on format changes. */
-constexpr const char *kJournalHeader = "cachescope-checkpoint v1";
+/** First line of new journals; bump the suffix on format changes. */
+constexpr const char *kJournalHeaderV2 = "cachescope-checkpoint v2";
+/** Previous format (records lack the metric-tree field); still read. */
+constexpr const char *kJournalHeaderV1 = "cachescope-checkpoint v1";
 
-/** Fields per record line (see serialize()). */
-constexpr std::size_t kNumFields = 10;
+/** Summary fields per record line (see serialize()). */
+constexpr std::size_t kNumSummaryFields = 10;
+/** v2 adds one trailing field: the cell's metric tree as JSON. */
+constexpr std::size_t kNumFieldsV2 = kNumSummaryFields + 1;
 
 std::size_t
 typeIndex(AccessType type)
@@ -34,12 +43,23 @@ typeIndex(AccessType type)
  * One completed cell per line:
  * workload policy attempts wall_us instructions cycles
  * llc_load_hits llc_store_hits llc_load_misses llc_store_misses
+ * cell_metrics_json
  * (tab-separated; wall time in integer microseconds so the line stays
- * locale- and float-format-proof).
+ * locale- and float-format-proof). The final field is the cell's full
+ * exported metric tree as metricsToJson() output with the newlines
+ * stripped: the JSON serializer escapes tabs and newlines inside
+ * strings and indents with spaces, so the flattened document contains
+ * neither record separator and splits back out cleanly.
  */
 std::string
 serialize(const CellOutcome &out)
 {
+    MetricsDocument doc;
+    doc.name = "cell";
+    out.exportCellMetrics(doc.metrics);
+    std::string json = metricsToJson(doc);
+    json.erase(std::remove(json.begin(), json.end(), '\n'), json.end());
+
     std::ostringstream line;
     line << out.workload << '\t' << out.policy << '\t' << out.attempts
          << '\t'
@@ -48,7 +68,7 @@ serialize(const CellOutcome &out)
          << '\t' << out.result.llc.hitsOf(AccessType::Load) << '\t'
          << out.result.llc.hitsOf(AccessType::Store) << '\t'
          << out.result.llc.missesOf(AccessType::Load) << '\t'
-         << out.result.llc.missesOf(AccessType::Store);
+         << out.result.llc.missesOf(AccessType::Store) << '\t' << json;
     return line.str();
 }
 
@@ -66,15 +86,17 @@ deserialize(const std::string &line)
             break;
         pos = tab + 1;
     }
-    if (fields.size() != kNumFields) {
-        return corruptionError("expected %zu fields, found %zu",
-                               kNumFields, fields.size());
+    if (fields.size() != kNumSummaryFields &&
+        fields.size() != kNumFieldsV2) {
+        return corruptionError("expected %zu or %zu fields, found %zu",
+                               kNumSummaryFields, kNumFieldsV2,
+                               fields.size());
     }
     if (fields[0].empty() || fields[1].empty())
         return corruptionError("empty workload or policy name");
 
-    std::uint64_t numbers[kNumFields - 2];
-    for (std::size_t i = 2; i < kNumFields; ++i) {
+    std::uint64_t numbers[kNumSummaryFields - 2];
+    for (std::size_t i = 2; i < kNumSummaryFields; ++i) {
         CS_TRY_ASSIGN(numbers[i - 2], parseU64(fields[i]));
     }
 
@@ -91,6 +113,20 @@ deserialize(const std::string &line)
     out.result.llc.hits[typeIndex(AccessType::Store)] = numbers[5];
     out.result.llc.misses[typeIndex(AccessType::Load)] = numbers[6];
     out.result.llc.misses[typeIndex(AccessType::Store)] = numbers[7];
+
+    if (fields.size() == kNumFieldsV2) {
+        // The JSON parser is newline-agnostic, so the flattened
+        // document parses as written. A record whose JSON is damaged
+        // is rejected whole — the caller treats it like any other
+        // corrupt line and the cell re-runs.
+        auto doc = metricsFromJson(fields[kNumSummaryFields]);
+        if (!doc.ok()) {
+            return corruptionError("bad cell metric tree: %s",
+                                   doc.status().message().c_str());
+        }
+        out.hasCellMetrics = true;
+        out.cellMetrics = std::move(doc->metrics);
+    }
     return out;
 }
 
@@ -104,6 +140,23 @@ CheckpointJournal::~CheckpointJournal()
 Status
 CheckpointJournal::open(const std::string &path)
 {
+    // The journal is a recovery mechanism: nothing it does — including
+    // parsing arbitrarily damaged files — may take the process down.
+    // Exceptions escaping the body (bad_alloc under memory pressure,
+    // filesystem errors) degrade to a recoverable Status instead.
+    try {
+        return openImpl(path);
+    } catch (const std::exception &e) {
+        return internalError(
+            "checkpoint journal '%s': unexpected exception: %s",
+            path.c_str(), e.what());
+    }
+}
+
+Status
+CheckpointJournal::openImpl(const std::string &path)
+{
+    CS_FAILPOINT("checkpoint.open");
     std::lock_guard<std::mutex> lock(mutex_);
     CS_ASSERT(file == nullptr, "journal opened twice");
     path_ = path;
@@ -137,7 +190,8 @@ CheckpointJournal::open(const std::string &path)
                     // Nothing intact exists: treat as a fresh journal.
                     break;
                 }
-                if (line != kJournalHeader) {
+                if (line != kJournalHeaderV2 &&
+                    line != kJournalHeaderV1) {
                     return corruptionError(
                         "'%s' is not a cachescope checkpoint journal "
                         "(unexpected first line); refusing to touch it",
@@ -158,6 +212,7 @@ CheckpointJournal::open(const std::string &path)
                 pos = line_end;
                 continue;
             }
+            CS_FAILPOINT("checkpoint.replay");
             auto outcome = deserialize(line);
             if (!outcome.ok()) {
                 // Malformed but newline-terminated. Skip it; keep_end
@@ -197,12 +252,22 @@ CheckpointJournal::open(const std::string &path)
                        path.c_str());
     }
     if (needs_header) {
-        if (std::fprintf(file, "%s\n", kJournalHeader) < 0 ||
-            std::fflush(file) != 0) {
+        if (std::fprintf(file, "%s\n", kJournalHeaderV2) < 0 ||
+            !flushLocked().ok()) {
             return ioError("cannot write checkpoint header to '%s'",
                            path.c_str());
         }
     }
+    return Status();
+}
+
+Status
+CheckpointJournal::flushLocked()
+{
+    if (std::fflush(file) != 0)
+        return ioError("fflush failed on '%s'", path_.c_str());
+    if (sync_ && ::fsync(::fileno(file)) != 0)
+        return ioError("fsync failed on '%s'", path_.c_str());
     return Status();
 }
 
@@ -228,12 +293,27 @@ CheckpointJournal::find(const std::string &workload,
 Status
 CheckpointJournal::append(const CellOutcome &outcome)
 {
+    // Same no-throw contract as open(): a failure to checkpoint must
+    // degrade to a warning at the call site, never unwind a sweep.
+    try {
+        return appendImpl(outcome);
+    } catch (const std::exception &e) {
+        return internalError(
+            "checkpoint journal '%s': unexpected exception: %s",
+            path_.c_str(), e.what());
+    }
+}
+
+Status
+CheckpointJournal::appendImpl(const CellOutcome &outcome)
+{
     if (!outcome.ok) {
         return invalidArgumentError(
             "refusing to checkpoint failed cell %s/%s (failures re-run "
             "on resume)",
             outcome.workload.c_str(), outcome.policy.c_str());
     }
+    CS_FAILPOINT("checkpoint.append");
     const std::string line = serialize(outcome);
     // One critical section covers both the file write and the index
     // update: a record must never appear in one but not the other, and
@@ -242,7 +322,7 @@ CheckpointJournal::append(const CellOutcome &outcome)
     if (!file)
         return internalError("checkpoint journal is not open");
     if (std::fprintf(file, "%s\n", line.c_str()) < 0 ||
-        std::fflush(file) != 0) {
+        !flushLocked().ok()) {
         return ioError("cannot append to checkpoint journal '%s'",
                        path_.c_str());
     }

@@ -5,14 +5,24 @@
  * Every successfully completed (workload x policy) cell is appended as
  * one line and flushed immediately, so a sweep killed mid-run (OOM,
  * ^C, node preemption) can be re-invoked with the same journal file
- * and only the unfinished cells are simulated again. The journal
- * stores the summary statistics the reporting layer needs (IPC and LLC
- * demand behaviour), not full SimResult detail.
+ * and only the unfinished cells are simulated again. A v2 record
+ * carries both the summary statistics the reporting layer needs (IPC
+ * and LLC demand behaviour) and the cell's full exported metric tree,
+ * so a resumed sweep reproduces the uninterrupted run's metrics
+ * byte-for-byte. v1 journals (summary fields only) are still read.
  *
  * The format is line-oriented, tab-separated text: a header line
  * followed by one record per cell. Parsing is deliberately tolerant of
  * a malformed *trailing* line — the expected wreckage of a process
  * killed mid-append — which is skipped with a warning.
+ *
+ * Durability: by default each record is pushed to the kernel with
+ * fflush() but NOT fsynced, so a machine crash (power loss, kernel
+ * panic — not a mere process kill) can still tear the last record or
+ * lose recently appended ones; open() repairs the tear and the lost
+ * cells simply re-run. setSync(true) (CLI: --checkpoint-sync) closes
+ * that window by fsync()ing after every append, at a per-record
+ * latency cost that is negligible next to a simulation cell.
  */
 
 #ifndef CACHESCOPE_HARNESS_CHECKPOINT_HH
@@ -76,13 +86,35 @@ class CheckpointJournal
 
     const std::string &path() const { return path_; }
 
+    /**
+     * When enabled, fsync() the journal after the header write and
+     * after every append, closing the machine-crash torn-write window
+     * described in the file comment. Takes effect from the next write;
+     * call it before open() to cover the header too.
+     */
+    void
+    setSync(bool sync)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sync_ = sync;
+    }
+
   private:
+    /** open()/append() bodies; the public wrappers add the
+     * exception-to-Status boundary. */
+    Status openImpl(const std::string &path);
+    Status appendImpl(const CellOutcome &outcome);
+
+    /** Flush `file`, and fsync it too when sync_ is set. */
+    Status flushLocked();
+
     using Key = std::pair<std::string, std::string>;
 
     /** Guards `file` and `entries` against concurrent append()s. */
     mutable std::mutex mutex_;
     std::string path_;
     std::FILE *file = nullptr;
+    bool sync_ = false;
     std::map<Key, CellOutcome> entries;
 };
 

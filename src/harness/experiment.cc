@@ -8,14 +8,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "harness/checkpoint.hh"
 #include "replacement/belady.hh"
 #include "stats/summary.hh"
+#include "util/cancel.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace cachescope {
@@ -82,15 +86,44 @@ SweepReport::failed() const
     return n;
 }
 
+void
+CellOutcome::exportCellMetrics(MetricsRegistry &metrics,
+                               const std::string &prefix) const
+{
+    if (hasCellMetrics)
+        metrics.merge(cellMetrics, prefix);
+    else
+        result.exportMetrics(metrics, prefix);
+}
+
 CellOutcome
-SuiteRunner::runCell(Workload &workload, const std::string &policy) const
+SuiteRunner::runCell(Workload &workload, const std::string &policy,
+                     const CancelToken *sweep_token) const
 {
     CellOutcome out;
     out.workload = workload.name();
     out.policy = policy;
+    // steady_clock everywhere: cell timing and deadlines must survive
+    // wall-clock adjustments mid-campaign.
     const auto start = std::chrono::steady_clock::now();
 
+    // The cell's own token: chained to the sweep token (signal /
+    // sweep deadline) and armed with the per-cell budget. CancelScope
+    // publishes it thread-locally so even layers without a token
+    // parameter (the failpoint sleep action) honour it.
+    CancelToken cell_token;
+    cell_token.setParent(sweep_token);
+    if (cellTimeoutS_ > 0.0) {
+        cell_token.setDeadline(
+            start + std::chrono::duration_cast<
+                        CancelToken::Clock::duration>(
+                        std::chrono::duration<double>(cellTimeoutS_)),
+            CancelReason::CellDeadline);
+    }
+    CancelScope scope(&cell_token);
+
     SimConfig config = base;
+    config.cancel = &cell_token;
     // "belady" is the offline oracle, injected rather than looked up in
     // the registry; validate the base configuration unchanged for it.
     const bool belady = policy == "belady";
@@ -104,15 +137,30 @@ SuiteRunner::runCell(Workload &workload, const std::string &policy) const
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
             out.attempts = attempt;
             try {
+                if (failpoint::anyArmed())
+                    failpoint::hitOrThrow("harness.cell.attempt");
                 out.result = belady ? runBelady(workload, config)
                                     : runOne(workload, config);
                 out.ok = true;
                 out.error.clear();
                 break;
+            } catch (const CancelledError &e) {
+                // Cancellation is not a transient fault: no retry, and
+                // the distinct flag keeps the accounting honest.
+                out.cancelled = true;
+                out.error = e.what();
+                break;
             } catch (const std::exception &e) {
                 out.error = e.what();
             } catch (...) {
                 out.error = "non-standard exception";
+            }
+            // A timeout that fired between attempts must not burn the
+            // remaining retries on cells that can no longer finish.
+            if (cell_token.cancelled()) {
+                out.cancelled = true;
+                out.error = CancelledError(cell_token.reason()).what();
+                break;
             }
         }
     }
@@ -152,16 +200,21 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
             "cell." + out.workload + "." + out.policy;
         if (out.ok) {
             report.metrics.addCounter("sweep.cells_ok");
-            out.result.exportMetrics(report.metrics, cell_prefix);
+            // exportCellMetrics prefers the tree a v2 checkpoint
+            // carried over; that is what keeps a resumed sweep's
+            // metric tree byte-identical to an uninterrupted run's.
+            out.exportCellMetrics(report.metrics, cell_prefix);
             // Counters additionally sum across cells under "total.";
             // gauges and histograms stay per-cell only.
             MetricsRegistry cell_metrics;
-            out.result.exportMetrics(cell_metrics);
+            out.exportCellMetrics(cell_metrics);
             for (const auto &[path, value] : cell_metrics.counters())
                 report.metrics.addCounter("total." + path, value);
         } else {
             report.metrics.addCounter("sweep.cells_failed");
         }
+        if (out.cancelled)
+            report.metrics.addCounter("sweep.cells_cancelled");
         report.metrics.addCounter("sweep.attempts_total", out.attempts);
         if (out.fromCheckpoint)
             report.metrics.addCounter("sweep.checkpoint_restores");
@@ -195,17 +248,59 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
         }
     }
 
+    // The sweep-wide token: chained to any external (signal) token and
+    // armed with the whole-sweep deadline. Workers consult it before
+    // pulling work; runCell chains each cell token to it so in-flight
+    // simulations unwind too.
+    CancelToken sweep_token;
+    sweep_token.setParent(external_);
+    if (deadlineS_ > 0.0) {
+        sweep_token.setDeadline(
+            std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<CancelToken::Clock::duration>(
+                    std::chrono::duration<double>(deadlineS_)),
+            CancelReason::SweepDeadline);
+    }
+
+    // Watchdog bookkeeping: which cells are currently simulating, so a
+    // cell stuck in non-cooperative code (never reaching a polling
+    // point) is at least reported even though it cannot be reaped.
+    struct ActiveCell
+    {
+        std::string workload;
+        std::string policy;
+        std::chrono::steady_clock::time_point start;
+        bool warned = false;
+    };
+    std::mutex active_mutex;
+    std::map<std::size_t, ActiveCell> active;
+
     std::mutex report_mutex;
     std::atomic<std::size_t> cursor{0};
 
     auto worker = [&]() {
         while (true) {
+            // Checked before claiming work, so cancellation stops
+            // scheduling promptly; cells claimed before the check still
+            // run (and unwind almost immediately via their own token).
+            if (sweep_token.cancelled())
+                return;
             const std::size_t k = cursor.fetch_add(1);
             if (k >= pending.size())
                 return;
             const std::size_t i = pending[k];
             const Cell &cell = cells[i];
-            CellOutcome out = runCell(*cell.workload, cell.policy);
+            {
+                std::lock_guard<std::mutex> lock(active_mutex);
+                active[i] = {cell.workload->name(), cell.policy,
+                             std::chrono::steady_clock::now(), false};
+            }
+            CellOutcome out = runCell(*cell.workload, cell.policy,
+                                      &sweep_token);
+            {
+                std::lock_guard<std::mutex> lock(active_mutex);
+                active.erase(i);
+            }
             {
                 std::lock_guard<std::mutex> lock(report_mutex);
                 ++report.executed;
@@ -239,6 +334,42 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
         }
     };
 
+    // Watchdog: a cell that blows well past its budget without being
+    // reaped is stuck somewhere that never polls; cancellation is
+    // cooperative, so all we can do is tell the operator which one.
+    std::mutex watchdog_mutex;
+    std::condition_variable watchdog_cv;
+    bool watchdog_done = false;
+    std::thread watchdog;
+    if (cellTimeoutS_ > 0.0) {
+        watchdog = std::thread([&]() {
+            const auto grace =
+                std::chrono::duration<double>(2.0 * cellTimeoutS_);
+            std::unique_lock<std::mutex> lock(watchdog_mutex);
+            while (!watchdog_done) {
+                watchdog_cv.wait_for(lock,
+                                     std::chrono::milliseconds(200));
+                if (watchdog_done)
+                    return;
+                const auto now = std::chrono::steady_clock::now();
+                std::lock_guard<std::mutex> alock(active_mutex);
+                for (auto &[idx, cell] : active) {
+                    if (cell.warned || now - cell.start <= grace)
+                        continue;
+                    cell.warned = true;
+                    warn("cell %s/%s is %0.1fs past 2x its "
+                         "--cell-timeout-s budget and not responding "
+                         "to cancellation; it may be stuck in "
+                         "non-cooperative code",
+                         cell.workload.c_str(), cell.policy.c_str(),
+                         std::chrono::duration<double>(
+                             now - cell.start - grace)
+                             .count());
+                }
+            }
+        });
+    }
+
     const unsigned nthreads =
         static_cast<unsigned>(std::min<std::size_t>(jobs, pending.size()));
     std::vector<std::thread> threads;
@@ -247,6 +378,31 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
         threads.emplace_back(worker);
     for (auto &t : threads)
         t.join();
+
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdog_mutex);
+            watchdog_done = true;
+        }
+        watchdog_cv.notify_all();
+        watchdog.join();
+    }
+
+    // Cells the cancelled sweep never started: record them so the
+    // report still has one outcome per grid cell and the accounting
+    // (cells_total == ok + failed) stays closed.
+    for (const std::size_t i : pending) {
+        CellOutcome &out = report.outcomes[i];
+        if (!out.workload.empty())
+            continue;
+        out.workload = cells[i].workload->name();
+        out.policy = cells[i].policy;
+        out.cancelled = true;
+        out.attempts = 0;
+        out.error = std::string("cancelled before start: ") +
+                    cancelReasonName(sweep_token.reason());
+        recordCell(out);
+    }
 
     report.metrics.setCounter("sweep.cells_total", cells.size());
     report.metrics.setCounter("sweep.executed", report.executed);

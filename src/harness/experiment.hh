@@ -46,13 +46,35 @@ struct CellOutcome
     bool ok = false;
     /** True iff restored from a checkpoint journal, not simulated. */
     bool fromCheckpoint = false;
+    /**
+     * True iff the cell was reaped by cooperative cancellation: its
+     * --cell-timeout-s budget, the sweep --deadline-s, or a signal.
+     * Cancelled cells are never retried and never checkpointed.
+     */
+    bool cancelled = false;
     /** Simulation attempts consumed (0 = rejected before running). */
     unsigned attempts = 0;
-    /** Wall-clock time spent on this cell, across all attempts. */
+    /** Wall-clock steady_clock time on this cell, across attempts. */
     double wallMs = 0.0;
     /** Human-readable failure description; empty when ok. */
     std::string error;
     SimResult result;
+    /**
+     * Full exported metric tree of the cell, restored from a v2
+     * checkpoint record (set iff hasCellMetrics). Simulated cells
+     * leave this empty and export from `result` instead; carrying the
+     * tree through the journal is what makes a resumed sweep's metric
+     * tree byte-identical to an uninterrupted run's.
+     */
+    bool hasCellMetrics = false;
+    MetricsRegistry cellMetrics;
+
+    /**
+     * Export this cell's metric tree into @p metrics under @p prefix:
+     * the restored tree when hasCellMetrics, else `result`'s export.
+     */
+    void exportCellMetrics(MetricsRegistry &metrics,
+                           const std::string &prefix = "") const;
 };
 
 /** Everything a fault-isolating sweep reports. */
@@ -130,15 +152,43 @@ class SuiteRunner
      */
     void setCheckpoint(CheckpointJournal *journal) { journal_ = journal; }
 
+    /**
+     * Per-cell wall-clock budget in seconds (0 = none). A cell past
+     * its budget is cooperatively cancelled and recorded as a failed,
+     * cancelled CellOutcome; the rest of the sweep continues. A
+     * watchdog thread additionally warns about cells that overrun
+     * without polling (stuck in non-cooperative code).
+     */
+    void setCellTimeout(double seconds) { cellTimeoutS_ = seconds; }
+
+    /**
+     * Whole-sweep wall-clock budget in seconds (0 = none), measured
+     * from runChecked() entry. On expiry, in-flight cells are
+     * cancelled and not-yet-started cells are recorded as cancelled
+     * without running; completed cells keep their results.
+     */
+    void setSweepDeadline(double seconds) { deadlineS_ = seconds; }
+
+    /**
+     * Chain the sweep to an external token (not owned; e.g. one fired
+     * by a SIGINT/SIGTERM handler). Cancelling it stops scheduling new
+     * cells and cooperatively cancels in-flight ones; cells that
+     * complete during shutdown are still checkpointed.
+     */
+    void setCancelToken(const CancelToken *token) { external_ = token; }
+
   private:
-    CellOutcome runCell(Workload &workload,
-                        const std::string &policy) const;
+    CellOutcome runCell(Workload &workload, const std::string &policy,
+                        const CancelToken *sweep_token) const;
 
     SimConfig base;
     unsigned jobs;
     bool verbose_ = true;
     unsigned retries_ = 0;
     CheckpointJournal *journal_ = nullptr;
+    double cellTimeoutS_ = 0.0;
+    double deadlineS_ = 0.0;
+    const CancelToken *external_ = nullptr;
 };
 
 /**

@@ -20,6 +20,7 @@
 #include <limits>
 #include <sstream>
 
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 
@@ -754,6 +755,7 @@ metricsFromJson(const std::string &text)
 Status
 writeMetricsJsonFile(const MetricsDocument &doc, const std::string &path)
 {
+    CS_FAILPOINT("metrics.json.write");
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out.is_open())
         return ioError("cannot open '%s' for writing", path.c_str());

@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace cachescope {
@@ -45,13 +46,16 @@ Status
 TraceWriter::init(const std::string &file_path)
 {
     path = file_path;
+    if (Status fp = failpoint::hit("trace.open.write"); !fp.ok())
+        return fp;
     file = std::fopen(path.c_str(), "wb");
     if (!file) {
         return ioError("cannot open trace file '%s' for writing",
                        path.c_str());
     }
     TraceFileHeader hdr;
-    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1) {
+    if (!failpoint::hit("trace.write.header").ok() ||
+        std::fwrite(&hdr, sizeof(hdr), 1, file) != 1) {
         std::fclose(file);
         file = nullptr;
         return ioError("cannot write trace header to '%s'", path.c_str());
@@ -75,6 +79,12 @@ TraceWriter::onInstruction(const TraceRecord &rec)
     CS_ASSERT(!finalized, "write after onEnd()");
     if (!status_.ok())
         return; // already failed; drop further records
+    if (failpoint::anyArmed()) {
+        if (Status fp = failpoint::hit("trace.write.record"); !fp.ok()) {
+            status_ = fp;
+            return;
+        }
+    }
     DiskRecord d{};
     d.pc = rec.pc;
     d.addr = rec.addr;
@@ -110,6 +120,10 @@ TraceWriter::finalize()
     if (finalized || !file)
         return;
     finalized = true;
+    if (status_.ok()) {
+        if (Status fp = failpoint::hit("trace.finalize"); !fp.ok())
+            status_ = fp;
+    }
     TraceFileHeader hdr;
     hdr.numRecords = count;
     hdr.checksum = checksum.digest();
@@ -146,11 +160,13 @@ Status
 TraceReader::init(const std::string &file_path)
 {
     path = file_path;
+    CS_FAILPOINT("trace.open.read");
     file = std::fopen(path.c_str(), "rb");
     if (!file) {
         return ioError("cannot open trace file '%s' for reading",
                        path.c_str());
     }
+    CS_FAILPOINT("trace.read.header");
     // Read the version-independent 16-byte prefix first; only v2+
     // carries the trailing checksum word.
     if (std::fread(&header, TraceFileHeader::kV1Bytes, 1, file) != 1) {
@@ -192,6 +208,13 @@ TraceReader::next(TraceRecord &rec)
 {
     if (done)
         return false;
+    if (failpoint::anyArmed()) {
+        if (Status fp = failpoint::hit("trace.read.record"); !fp.ok()) {
+            done = true;
+            status_ = fp;
+            return false;
+        }
+    }
     DiskRecord d;
     const std::size_t got = std::fread(&d, 1, sizeof(d), file);
     if (got != sizeof(d)) {

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cooperative-cancellation implementation.
+ */
+
+#include "util/cancel.hh"
+
+namespace cachescope {
+
+namespace {
+
+thread_local const CancelToken *tl_current_token = nullptr;
+
+} // anonymous namespace
+
+const char *
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::None: return "none";
+      case CancelReason::CellDeadline: return "cell_deadline";
+      case CancelReason::SweepDeadline: return "sweep_deadline";
+      case CancelReason::Signal: return "signal";
+    }
+    return "unknown";
+}
+
+CancelledError::CancelledError(CancelReason reason) : reason_(reason)
+{
+    // Static strings only: the harness formats these into CellOutcome
+    // errors, and tests grep for the stable "cancelled:" prefix.
+    switch (reason) {
+      case CancelReason::CellDeadline:
+        message = "cancelled: cell wall-clock timeout exceeded";
+        break;
+      case CancelReason::SweepDeadline:
+        message = "cancelled: sweep deadline exceeded";
+        break;
+      case CancelReason::Signal:
+        message = "cancelled: termination requested (signal)";
+        break;
+      default:
+        message = "cancelled";
+        break;
+    }
+}
+
+CancelScope::CancelScope(const CancelToken *token)
+    : previous(tl_current_token)
+{
+    tl_current_token = token;
+}
+
+CancelScope::~CancelScope()
+{
+    tl_current_token = previous;
+}
+
+const CancelToken *
+currentCancelToken() noexcept
+{
+    return tl_current_token;
+}
+
+} // namespace cachescope

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A CancelToken is a shared flag that long loops poll at safe points.
+ * Cancellation is *cooperative*: nothing is interrupted mid-operation,
+ * so data structures are never torn — the polling code observes the
+ * request and unwinds by throwing CancelledError, which the harness
+ * converts into a failed CellOutcome instead of a hung or killed
+ * process.
+ *
+ * Three request paths feed a token:
+ *  - requestCancel(): an explicit request, e.g. from a SIGINT/SIGTERM
+ *    handler. The store is a lock-free atomic, so it is
+ *    async-signal-safe.
+ *  - a deadline: setDeadline() arms a steady_clock time point; the
+ *    first cancelled() call at or past it latches the token. This is
+ *    how per-cell (--cell-timeout-s) and whole-sweep (--deadline-s)
+ *    watchdog budgets reap overruns.
+ *  - a parent token: cell tokens chain to the sweep token, so one
+ *    sweep-wide request cancels every in-flight cell.
+ *
+ * All timing uses std::chrono::steady_clock — deadlines must survive
+ * wall-clock adjustments (NTP slew, DST) on multi-hour campaigns.
+ */
+
+#ifndef CACHESCOPE_UTIL_CANCEL_HH
+#define CACHESCOPE_UTIL_CANCEL_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+
+namespace cachescope {
+
+/** Why a token was cancelled (ordered by escalation priority). */
+enum class CancelReason : int
+{
+    None = 0,
+    /** The per-cell wall-clock budget (--cell-timeout-s) expired. */
+    CellDeadline,
+    /** The whole-sweep wall-clock budget (--deadline-s) expired. */
+    SweepDeadline,
+    /** An external request, e.g. a SIGINT/SIGTERM handler. */
+    Signal,
+};
+
+/** @return a stable lowercase name ("cell_deadline", ...). */
+const char *cancelReasonName(CancelReason reason);
+
+class CancelToken
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /**
+     * Request cancellation. Lock-free atomic store: safe to call from
+     * a signal handler (on every platform this project targets,
+     * std::atomic<int> is lock-free). The first reason wins.
+     */
+    void
+    requestCancel(CancelReason reason) noexcept
+    {
+        int expected = 0;
+        reason_.compare_exchange_strong(expected,
+                                        static_cast<int>(reason),
+                                        std::memory_order_relaxed);
+    }
+
+    /**
+     * Arm a deadline: cancelled() latches @p reason once steady time
+     * reaches @p deadline. Call before sharing the token with workers.
+     */
+    void
+    setDeadline(Clock::time_point deadline, CancelReason reason)
+    {
+        deadlineNs_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          deadline.time_since_epoch())
+                          .count();
+        deadlineReason_ = reason;
+    }
+
+    /** Chain to @p parent: its cancellation also cancels this token. */
+    void setParent(const CancelToken *parent) { parent_ = parent; }
+
+    /**
+     * Poll. Checks, in order: this token's latched reason, its armed
+     * deadline (latching on first observation), and the parent chain.
+     */
+    bool
+    cancelled() const noexcept
+    {
+        if (reason_.load(std::memory_order_relaxed) != 0)
+            return true;
+        if (deadlineNs_ != 0 &&
+            Clock::now().time_since_epoch() >=
+                std::chrono::nanoseconds(deadlineNs_)) {
+            int expected = 0;
+            reason_.compare_exchange_strong(
+                expected, static_cast<int>(deadlineReason_),
+                std::memory_order_relaxed);
+            return true;
+        }
+        return parent_ && parent_->cancelled();
+    }
+
+    /** The latched reason (the parent's if only the parent fired). */
+    CancelReason
+    reason() const noexcept
+    {
+        const int r = reason_.load(std::memory_order_relaxed);
+        if (r != 0)
+            return static_cast<CancelReason>(r);
+        return parent_ ? parent_->reason() : CancelReason::None;
+    }
+
+  private:
+    /** 0 = not cancelled; otherwise the latched CancelReason. */
+    mutable std::atomic<int> reason_{0};
+    /** Steady-clock deadline in ns since epoch; 0 = no deadline. */
+    std::int64_t deadlineNs_ = 0;
+    CancelReason deadlineReason_ = CancelReason::None;
+    const CancelToken *parent_ = nullptr;
+};
+
+/**
+ * Thrown by polling points (the simulator's instruction loop) when
+ * their token is cancelled. The harness catches it separately from
+ * std::exception so cancellations are never retried.
+ */
+class CancelledError : public std::exception
+{
+  public:
+    explicit CancelledError(CancelReason reason);
+    const char *what() const noexcept override { return message; }
+    CancelReason reason() const noexcept { return reason_; }
+
+  private:
+    CancelReason reason_;
+    const char *message;
+};
+
+/**
+ * RAII registration of the calling thread's "current" token, so deep
+ * layers without a token parameter (e.g. the failpoint sleep action)
+ * can still honour cancellation. Scopes nest; each thread sees its own.
+ */
+class CancelScope
+{
+  public:
+    explicit CancelScope(const CancelToken *token);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    const CancelToken *previous;
+};
+
+/** @return the innermost CancelScope token, or nullptr. */
+const CancelToken *currentCancelToken() noexcept;
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_CANCEL_HH

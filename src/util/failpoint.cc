@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Failpoint registry, spec parsing, and trigger evaluation.
+ */
+
+#include "util/failpoint.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/cancel.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/rng.hh"
+
+namespace cachescope {
+namespace failpoint {
+
+namespace detail {
+std::atomic<bool> g_any_armed{false};
+} // namespace detail
+
+namespace {
+
+/**
+ * Every instrumented site in the binary. configure() validates spec
+ * names against this list, and hit() asserts membership, so the list
+ * cannot silently drift from the instrumentation.
+ */
+const std::vector<std::string> kKnownSites = {
+    "checkpoint.append",
+    "checkpoint.open",
+    "checkpoint.replay",
+    "harness.cell.attempt",
+    "metrics.json.write",
+    "sim.build.alloc",
+    "sim.loop",
+    "trace.finalize",
+    "trace.open.read",
+    "trace.open.write",
+    "trace.read.header",
+    "trace.read.record",
+    "trace.write.header",
+    "trace.write.record",
+};
+
+enum class Trigger { Off, Always, Hit, Every, Prob };
+enum class Action { Error, Throw, Sleep, Abort };
+
+struct Schedule
+{
+    Trigger trigger = Trigger::Off;
+    Action action = Action::Error;
+    std::uint64_t n = 0;      ///< hit()/every() ordinal
+    double probability = 0.0; ///< prob() chance per hit
+    Rng rng{0};               ///< prob() per-site deterministic stream
+    std::uint64_t sleepMs = 0;
+};
+
+struct SiteState
+{
+    Schedule schedule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+/** Guards the site map; only armed runs ever contend on it. */
+std::mutex g_mutex;
+std::map<std::string, SiteState> g_sites;
+
+bool
+isKnownSite(const std::string &name)
+{
+    return std::binary_search(kKnownSites.begin(), kKnownSites.end(),
+                              name);
+}
+
+/** FNV-1a over the site name, to decorrelate per-site prob() streams. */
+std::uint64_t
+siteHash(const std::string &site)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : site) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Parse "name(arg[,arg])" into its pieces. @return false if @p text
+ * does not have the shape keyword '(' ... ')'.
+ */
+bool
+splitCall(const std::string &text, std::string &name,
+          std::vector<std::string> &args)
+{
+    const std::size_t open = text.find('(');
+    if (open == std::string::npos || text.back() != ')')
+        return false;
+    name = text.substr(0, open);
+    const std::string inner =
+        text.substr(open + 1, text.size() - open - 2);
+    args.clear();
+    std::size_t pos = 0;
+    while (pos <= inner.size()) {
+        const std::size_t comma = inner.find(',', pos);
+        args.push_back(inner.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+Expected<Schedule>
+parseTrigger(const std::string &site, const std::string &text)
+{
+    Schedule sched;
+    if (text == "off") {
+        sched.trigger = Trigger::Off;
+        return sched;
+    }
+    if (text == "always") {
+        sched.trigger = Trigger::Always;
+        return sched;
+    }
+    std::string name;
+    std::vector<std::string> args;
+    if (!splitCall(text, name, args)) {
+        return invalidArgumentError(
+            "failpoint '%s': unknown trigger '%s' (expected off, "
+            "always, hit(N), every(N), or prob(P[,SEED]))",
+            site.c_str(), text.c_str());
+    }
+    if (name == "hit" || name == "every") {
+        if (args.size() != 1) {
+            return invalidArgumentError(
+                "failpoint '%s': %s() takes exactly one argument",
+                site.c_str(), name.c_str());
+        }
+        CS_TRY_ASSIGN(sched.n, parseU64(args[0]));
+        if (sched.n == 0) {
+            return invalidArgumentError(
+                "failpoint '%s': %s(N) needs N >= 1", site.c_str(),
+                name.c_str());
+        }
+        sched.trigger = name == "hit" ? Trigger::Hit : Trigger::Every;
+        return sched;
+    }
+    if (name == "prob") {
+        if (args.empty() || args.size() > 2) {
+            return invalidArgumentError(
+                "failpoint '%s': prob() takes one or two arguments",
+                site.c_str());
+        }
+        CS_TRY_ASSIGN(sched.probability, parseF64NonNegative(args[0]));
+        if (sched.probability > 1.0) {
+            return invalidArgumentError(
+                "failpoint '%s': probability %s is not in [0, 1]",
+                site.c_str(), args[0].c_str());
+        }
+        std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+        if (args.size() == 2) {
+            CS_TRY_ASSIGN(seed, parseU64(args[1]));
+        }
+        sched.rng = Rng(seed ^ siteHash(site));
+        sched.trigger = Trigger::Prob;
+        return sched;
+    }
+    return invalidArgumentError("failpoint '%s': unknown trigger '%s'",
+                                site.c_str(), text.c_str());
+}
+
+Status
+parseAction(const std::string &site, const std::string &text,
+            Schedule &sched)
+{
+    if (text == "error") {
+        sched.action = Action::Error;
+        return Status();
+    }
+    if (text == "throw") {
+        sched.action = Action::Throw;
+        return Status();
+    }
+    if (text == "abort") {
+        sched.action = Action::Abort;
+        return Status();
+    }
+    std::string name;
+    std::vector<std::string> args;
+    if (splitCall(text, name, args) && name == "sleep") {
+        if (args.size() != 1) {
+            return invalidArgumentError(
+                "failpoint '%s': sleep() takes exactly one argument",
+                site.c_str());
+        }
+        CS_TRY_ASSIGN(sched.sleepMs, parseU64(args[0]));
+        sched.action = Action::Sleep;
+        return Status();
+    }
+    return invalidArgumentError(
+        "failpoint '%s': unknown action '%s' (expected error, throw, "
+        "sleep(MS), or abort)",
+        site.c_str(), text.c_str());
+}
+
+/**
+ * Perform a fired schedule's action. Runs outside the registry lock
+ * (sleeps must not serialize other sites).
+ */
+Status
+performAction(const char *site, Action action, std::uint64_t sleep_ms)
+{
+    switch (action) {
+      case Action::Error:
+        return ioError("injected failure at failpoint '%s'", site);
+      case Action::Throw:
+        throw FailpointError(
+            std::string("injected failure at failpoint '") + site +
+            "' (throw action)");
+      case Action::Abort:
+        // Simulated hard kill: no flushing, no destructors, so
+        // half-written files are left exactly as a real SIGKILL or
+        // power loss would leave them.
+        std::_Exit(kAbortExitCode);
+      case Action::Sleep: {
+        // Cooperative stall: sleep in slices, waking early if the
+        // thread's CancelToken fires, so --cell-timeout-s can reap a
+        // deliberately hung cell.
+        using namespace std::chrono;
+        const auto end =
+            steady_clock::now() + milliseconds(sleep_ms);
+        const CancelToken *token = currentCancelToken();
+        while (steady_clock::now() < end) {
+            if (token && token->cancelled())
+                break;
+            std::this_thread::sleep_for(milliseconds(5));
+        }
+        return Status();
+      }
+    }
+    return Status();
+}
+
+} // anonymous namespace
+
+Status
+configure(const std::string &spec)
+{
+    std::map<std::string, SiteState> parsed;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t semi = spec.find(';', pos);
+        const std::string entry = spec.substr(
+            pos, semi == std::string::npos ? semi : semi - pos);
+        pos = semi == std::string::npos ? spec.size() : semi + 1;
+        if (entry.empty())
+            continue;
+
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) {
+            return invalidArgumentError(
+                "failpoint entry '%s' is missing '='", entry.c_str());
+        }
+        const std::string site = entry.substr(0, eq);
+        if (!isKnownSite(site)) {
+            std::string known;
+            for (const auto &s : kKnownSites)
+                known += (known.empty() ? "" : " ") + s;
+            return invalidArgumentError(
+                "unknown failpoint site '%s' (known sites: %s)",
+                site.c_str(), known.c_str());
+        }
+
+        // Split "trigger[:action]". ':' cannot appear inside trigger
+        // arguments (they are integers/decimals), so the first ':'
+        // after the trigger is the separator.
+        std::string rest = entry.substr(eq + 1);
+        std::string trigger_text = rest;
+        std::string action_text = "error";
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            trigger_text = rest.substr(0, colon);
+            action_text = rest.substr(colon + 1);
+        }
+
+        CS_TRY_ASSIGN(Schedule sched, parseTrigger(site, trigger_text));
+        CS_TRY(parseAction(site, action_text, sched));
+        parsed[site].schedule = sched;
+    }
+
+    bool any_armed = false;
+    for (const auto &[site, state] : parsed)
+        any_armed |= state.schedule.trigger != Trigger::Off;
+
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sites = std::move(parsed);
+    detail::g_any_armed.store(any_armed, std::memory_order_relaxed);
+    return Status();
+}
+
+Status
+configureFromEnv()
+{
+    const char *spec = std::getenv("CACHESCOPE_FAILPOINTS");
+    if (!spec || !*spec)
+        return Status();
+    return configure(spec);
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sites.clear();
+    detail::g_any_armed.store(false, std::memory_order_relaxed);
+}
+
+Status
+hit(const char *site)
+{
+    if (!anyArmed())
+        return Status();
+    Action action = Action::Error;
+    std::uint64_t sleep_ms = 0;
+    bool fired = false;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        CS_ASSERT(isKnownSite(site),
+                  "failpoint site is missing from kKnownSites");
+        SiteState &state = g_sites[site]; // counts even un-armed sites
+        ++state.hits;
+        Schedule &sched = state.schedule;
+        switch (sched.trigger) {
+          case Trigger::Off:
+            break;
+          case Trigger::Always:
+            fired = true;
+            break;
+          case Trigger::Hit:
+            fired = state.hits == sched.n;
+            break;
+          case Trigger::Every:
+            fired = state.hits % sched.n == 0;
+            break;
+          case Trigger::Prob:
+            fired = sched.rng.nextBool(sched.probability);
+            break;
+        }
+        if (fired) {
+            ++state.fires;
+            action = sched.action;
+            sleep_ms = sched.sleepMs;
+        }
+    }
+    if (!fired)
+        return Status();
+    return performAction(site, action, sleep_ms);
+}
+
+void
+hitOrThrow(const char *site)
+{
+    if (Status s = hit(site); !s.ok())
+        throw FailpointError(s.message());
+}
+
+const std::vector<std::string> &
+knownSites()
+{
+    return kKnownSites;
+}
+
+std::uint64_t
+hitCount(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = g_sites.find(site);
+    return it == g_sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fireCount(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = g_sites.find(site);
+    return it == g_sites.end() ? 0 : it->second.fires;
+}
+
+} // namespace failpoint
+} // namespace cachescope

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic failpoint fault injection.
+ *
+ * A failpoint is a named site at an I/O or resource boundary
+ * ("trace.write.record", "checkpoint.append", ...) that normally does
+ * nothing. Tests, the chaos-soak driver, or a user armed with
+ * `--failpoints=` / the CACHESCOPE_FAILPOINTS environment variable can
+ * attach a *schedule* to any site, making it misbehave on purpose so
+ * the recovery paths (Status propagation, per-cell fault isolation,
+ * checkpoint resume) are exercised for real instead of trusted.
+ *
+ * Spec grammar (one string configures everything):
+ *
+ *   spec    := entry (';' entry)*
+ *   entry   := site '=' trigger [ ':' action ]
+ *   trigger := 'always' | 'off'
+ *            | 'hit(N)'          fire exactly once, on the Nth hit
+ *            | 'every(N)'        fire on every Nth hit
+ *            | 'prob(P[,SEED])'  fire each hit with probability P,
+ *                                 from a deterministic per-site RNG
+ *   action  := 'error'           return an injected IoError (default)
+ *            | 'throw'           throw FailpointError
+ *            | 'sleep(MS)'       stall MS milliseconds (cooperatively:
+ *                                 wakes early if the thread's
+ *                                 CancelToken fires), then continue
+ *            | 'abort'           _Exit(42) — a simulated hard kill
+ *
+ *   e.g. --failpoints='checkpoint.append=hit(3);sim.loop=prob(0.001,7):throw'
+ *
+ * Sites are compiled into a fixed registry (knownSites());
+ * configure() rejects unknown names so a typo cannot silently arm
+ * nothing. Hit counting is per-site and thread-safe; with the same
+ * spec and the same execution, injection is deterministic.
+ *
+ * Cost when inactive: every site first checks one relaxed atomic
+ * (anyArmed()); with no schedule configured that is the entire cost,
+ * so production runs pay one predictable branch per site.
+ */
+
+#ifndef CACHESCOPE_UTIL_FAILPOINT_HH
+#define CACHESCOPE_UTIL_FAILPOINT_HH
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace cachescope {
+
+/** Thrown by the 'throw' action and by hitOrThrow()'s 'error' action. */
+class FailpointError : public std::runtime_error
+{
+  public:
+    explicit FailpointError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace failpoint {
+
+/** The process exit code of the 'abort' action (a simulated kill). */
+inline constexpr int kAbortExitCode = 42;
+
+namespace detail {
+/** One relaxed load: the whole cost of an un-armed site. */
+extern std::atomic<bool> g_any_armed;
+} // namespace detail
+
+/** @return true iff at least one site currently has a schedule. */
+inline bool
+anyArmed() noexcept
+{
+    return detail::g_any_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Replace all schedules with those parsed from @p spec (see the file
+ * comment for the grammar). An empty spec disarms everything.
+ * @return InvalidArgument for grammar errors or unknown site names;
+ * on error the previous configuration is left untouched.
+ */
+Status configure(const std::string &spec);
+
+/**
+ * configure() from the CACHESCOPE_FAILPOINTS environment variable.
+ * Absent/empty variable is a no-op success.
+ */
+Status configureFromEnv();
+
+/** Disarm every site and zero all hit/fire counters. */
+void reset();
+
+/**
+ * Evaluate @p site against its schedule, bumping its hit counter.
+ * @return an injected IoError when an 'error' action fires; throws
+ * FailpointError for 'throw'; stalls for 'sleep'; exits for 'abort';
+ * OK otherwise. Un-armed sites only pay the anyArmed() load (callers
+ * typically guard with it; hit() re-checks regardless).
+ */
+Status hit(const char *site);
+
+/**
+ * As hit(), but for contexts without a Status return path
+ * (constructors, the simulation loop): a fired 'error' action becomes
+ * a thrown FailpointError.
+ */
+void hitOrThrow(const char *site);
+
+/** Every site name compiled into this binary, sorted. */
+const std::vector<std::string> &knownSites();
+
+/** Times @p site was evaluated since the last reset()/configure(). */
+std::uint64_t hitCount(const std::string &site);
+
+/** Times @p site's schedule fired since the last reset()/configure(). */
+std::uint64_t fireCount(const std::string &site);
+
+} // namespace failpoint
+
+/**
+ * Evaluate a failpoint site inside a function returning Status or
+ * Expected<T>: a fired 'error' action propagates as the return value.
+ */
+#define CS_FAILPOINT(site)                                                \
+    do {                                                                  \
+        if (::cachescope::failpoint::anyArmed()) {                        \
+            ::cachescope::Status cs_fp_status_ =                          \
+                ::cachescope::failpoint::hit(site);                       \
+            if (!cs_fp_status_.ok())                                      \
+                return cs_fp_status_;                                     \
+        }                                                                 \
+    } while (0)
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_UTIL_FAILPOINT_HH

@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace cachescope {
@@ -35,6 +36,52 @@ parseU64(const std::string &text)
             "trailing garbage in integer '%s'", text.c_str());
     }
     return static_cast<std::uint64_t>(value);
+}
+
+Expected<double>
+parseF64NonNegative(const std::string &text)
+{
+    if (text.empty())
+        return invalidArgumentError("expected a non-negative number, got ''");
+    // strtod accepts leading whitespace, signs, hex floats ("0x1p4"),
+    // and inf/nan spellings; restrict the alphabet first so only plain
+    // decimal forms (digits, one '.', one exponent) get through.
+    if (!std::isdigit(static_cast<unsigned char>(text[0]))) {
+        return invalidArgumentError(
+            "expected a non-negative number, got '%s'", text.c_str());
+    }
+    bool seen_point = false, seen_exp = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            continue;
+        if (c == '.' && !seen_point && !seen_exp) {
+            seen_point = true;
+            continue;
+        }
+        if ((c == 'e' || c == 'E') && !seen_exp && i > 0) {
+            seen_exp = true;
+            // An optional sign may follow the exponent marker.
+            if (i + 1 < text.size() &&
+                (text[i + 1] == '+' || text[i + 1] == '-'))
+                ++i;
+            continue;
+        }
+        return invalidArgumentError(
+            "malformed number '%s'", text.c_str());
+    }
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) {
+        return invalidArgumentError(
+            "malformed number '%s'", text.c_str());
+    }
+    if (errno == ERANGE || !std::isfinite(value)) {
+        return invalidArgumentError("value '%s' is out of range",
+                                    text.c_str());
+    }
+    return value;
 }
 
 } // namespace cachescope

@@ -26,6 +26,16 @@ namespace cachescope {
  */
 Expected<std::uint64_t> parseU64(const std::string &text);
 
+/**
+ * Parse @p text as a non-negative base-10 decimal ("30", "1.5",
+ * "2e-3"). Used for duration flags (--cell-timeout-s, --deadline-s)
+ * and failpoint probabilities.
+ *
+ * Rejects empty strings, signs, whitespace, hex/inf/nan forms,
+ * trailing garbage, and values that overflow to infinity.
+ */
+Expected<double> parseF64NonNegative(const std::string &text);
+
 } // namespace cachescope
 
 #endif // CACHESCOPE_UTIL_PARSE_HH

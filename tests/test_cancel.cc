@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the cooperative cancellation layer: token latching,
+ * first-reason-wins, deadlines, parent chaining, thread-local scopes,
+ * and the CancelledError messages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "util/cancel.hh"
+
+namespace cachescope {
+namespace {
+
+TEST(CancelToken, DefaultNotCancelled)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+}
+
+TEST(CancelToken, RequestCancelLatches)
+{
+    CancelToken token;
+    token.requestCancel(CancelReason::Signal);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Signal);
+    // Repeated polls stay cancelled.
+    EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, FirstReasonWins)
+{
+    CancelToken token;
+    token.requestCancel(CancelReason::CellDeadline);
+    token.requestCancel(CancelReason::Signal);
+    EXPECT_EQ(token.reason(), CancelReason::CellDeadline);
+}
+
+TEST(CancelToken, PastDeadlineLatchesItsReason)
+{
+    CancelToken token;
+    token.setDeadline(CancelToken::Clock::now() -
+                          std::chrono::milliseconds(1),
+                      CancelReason::SweepDeadline);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::SweepDeadline);
+}
+
+TEST(CancelToken, FutureDeadlineNotYetCancelled)
+{
+    CancelToken token;
+    token.setDeadline(CancelToken::Clock::now() +
+                          std::chrono::hours(1),
+                      CancelReason::CellDeadline);
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::None);
+}
+
+TEST(CancelToken, ExplicitRequestBeatsALaterDeadline)
+{
+    CancelToken token;
+    token.setDeadline(CancelToken::Clock::now() -
+                          std::chrono::milliseconds(1),
+                      CancelReason::CellDeadline);
+    token.requestCancel(CancelReason::Signal);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Signal);
+}
+
+TEST(CancelToken, ChildSeesParentCancellation)
+{
+    CancelToken parent;
+    CancelToken child;
+    child.setParent(&parent);
+    EXPECT_FALSE(child.cancelled());
+
+    parent.requestCancel(CancelReason::SweepDeadline);
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_EQ(child.reason(), CancelReason::SweepDeadline);
+}
+
+TEST(CancelToken, OwnReasonShadowsParent)
+{
+    CancelToken parent;
+    CancelToken child;
+    child.setParent(&parent);
+    parent.requestCancel(CancelReason::SweepDeadline);
+    child.requestCancel(CancelReason::CellDeadline);
+    EXPECT_EQ(child.reason(), CancelReason::CellDeadline);
+    EXPECT_EQ(parent.reason(), CancelReason::SweepDeadline);
+}
+
+TEST(CancelToken, ParentCancellationDoesNotAffectSiblings)
+{
+    CancelToken parent;
+    CancelToken a, b;
+    a.setParent(&parent);
+    b.setParent(&parent);
+    a.requestCancel(CancelReason::CellDeadline);
+    EXPECT_TRUE(a.cancelled());
+    EXPECT_FALSE(b.cancelled());
+    EXPECT_FALSE(parent.cancelled());
+}
+
+TEST(CancelToken, RequestFromAnotherThreadIsObserved)
+{
+    CancelToken token;
+    std::thread requester(
+        [&token] { token.requestCancel(CancelReason::Signal); });
+    requester.join();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), CancelReason::Signal);
+}
+
+TEST(CancelReasonName, StableLowercaseNames)
+{
+    EXPECT_STREQ(cancelReasonName(CancelReason::None), "none");
+    EXPECT_STREQ(cancelReasonName(CancelReason::CellDeadline),
+                 "cell_deadline");
+    EXPECT_STREQ(cancelReasonName(CancelReason::SweepDeadline),
+                 "sweep_deadline");
+    EXPECT_STREQ(cancelReasonName(CancelReason::Signal), "signal");
+}
+
+TEST(CancelledError, CarriesReasonAndPrefixedMessage)
+{
+    for (CancelReason reason :
+         {CancelReason::CellDeadline, CancelReason::SweepDeadline,
+          CancelReason::Signal}) {
+        CancelledError err(reason);
+        EXPECT_EQ(err.reason(), reason);
+        const std::string what = err.what();
+        EXPECT_EQ(what.rfind("cancelled:", 0), 0u) << what;
+    }
+}
+
+TEST(CancelScope, RegistersAndRestoresTheThreadToken)
+{
+    EXPECT_EQ(currentCancelToken(), nullptr);
+    CancelToken outer_token;
+    {
+        CancelScope outer(&outer_token);
+        EXPECT_EQ(currentCancelToken(), &outer_token);
+        CancelToken inner_token;
+        {
+            CancelScope inner(&inner_token);
+            EXPECT_EQ(currentCancelToken(), &inner_token);
+        }
+        EXPECT_EQ(currentCancelToken(), &outer_token);
+    }
+    EXPECT_EQ(currentCancelToken(), nullptr);
+}
+
+TEST(CancelScope, IsPerThread)
+{
+    CancelToken token;
+    CancelScope scope(&token);
+    const CancelToken *seen_on_other_thread = &token;
+    std::thread other([&seen_on_other_thread] {
+        seen_on_other_thread = currentCancelToken();
+    });
+    other.join();
+    EXPECT_EQ(seen_on_other_thread, nullptr);
+    EXPECT_EQ(currentCancelToken(), &token);
+}
+
+} // namespace
+} // namespace cachescope

@@ -20,8 +20,10 @@
 #include "core/cascade_lake.hh"
 #include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
+#include "stats/metrics.hh"
 #include "trace/pc_site.hh"
 #include "trace/traced_memory.hh"
+#include "util/failpoint.hh"
 
 namespace cachescope {
 namespace {
@@ -270,6 +272,16 @@ TEST(CheckpointResume, PartialJournalRunsOnlyTheMissingCells)
     std::remove(path.c_str());
 }
 
+/** "w<t>_<i>", without the operator+ chains GCC 12's -Wrestrict
+ * false-positives on when it inlines them into the thread lambda. */
+std::string
+cellName(int t, int i)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "w%d_%d", t, i);
+    return buf;
+}
+
 TEST(CheckpointJournal, ConcurrentAppendsNeverCorruptTheJournal)
 {
     const std::string path = tempJournalPath("threads");
@@ -283,9 +295,8 @@ TEST(CheckpointJournal, ConcurrentAppendsNeverCorruptTheJournal)
         for (int t = 0; t < kThreads; ++t) {
             threads.emplace_back([&journal, t]() {
                 for (int i = 0; i < kPerThread; ++i) {
-                    const auto outcome = makeOutcome(
-                        "w" + std::to_string(t) + "_" + std::to_string(i),
-                        "lru", 1000 + i);
+                    const auto outcome =
+                        makeOutcome(cellName(t, i), "lru", 1000 + i);
                     ASSERT_TRUE(journal.append(outcome).ok());
                 }
             });
@@ -304,8 +315,8 @@ TEST(CheckpointJournal, ConcurrentAppendsNeverCorruptTheJournal)
               static_cast<std::size_t>(kThreads * kPerThread));
     for (int t = 0; t < kThreads; ++t) {
         for (int i = 0; i < kPerThread; ++i) {
-            const CellOutcome *cell = resumed.find(
-                "w" + std::to_string(t) + "_" + std::to_string(i), "lru");
+            const CellOutcome *cell =
+                resumed.find(cellName(t, i), "lru");
             ASSERT_NE(cell, nullptr);
             EXPECT_EQ(cell->result.core.cycles,
                       static_cast<Cycle>(1000 + i));
@@ -392,6 +403,194 @@ TEST(CheckpointJournal, StillRefusesCompleteForeignFirstLine)
     const Status st = journal.open(path);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.code(), StatusCode::Corruption);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------- v2 metric trees --
+
+TEST(CheckpointJournal, V2RecordsCarryTheFullCellMetricTree)
+{
+    const std::string path = tempJournalPath("v2_tree");
+    std::remove(path.c_str());
+    const CellOutcome original = makeOutcome("bfs", "lru", 2000);
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(original).ok());
+    }
+    {
+        std::ifstream in(path);
+        std::string header;
+        std::getline(in, header);
+        EXPECT_EQ(header, "cachescope-checkpoint v2");
+    }
+
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    const CellOutcome *cell = resumed.find("bfs", "lru");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(cell->hasCellMetrics);
+    // The restored export must be byte-for-byte the original's: this
+    // is what makes resumed sweeps' metric trees identical to
+    // uninterrupted ones.
+    MetricsRegistry fresh, restored;
+    original.exportCellMetrics(fresh);
+    cell->exportCellMetrics(restored);
+    EXPECT_TRUE(fresh == restored);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, V1JournalsRemainReadable)
+{
+    const std::string path = tempJournalPath("v1_compat");
+    std::remove(path.c_str());
+    // A journal written by the previous release: v1 header, 10-field
+    // summary records with no metric-tree column.
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "cachescope-checkpoint v1\n"
+            << "bfs\tlru\t1\t12500\t1000\t2000\t40\t7\t60\t3\n";
+    }
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    EXPECT_EQ(journal.completedCells(), 1u);
+    const CellOutcome *cell = journal.find("bfs", "lru");
+    ASSERT_NE(cell, nullptr);
+    EXPECT_TRUE(cell->ok);
+    EXPECT_FALSE(cell->hasCellMetrics); // summary only
+    EXPECT_EQ(cell->result.core.cycles, 2000u);
+    EXPECT_EQ(cell->result.llc.hitsOf(AccessType::Load), 40u);
+    // The journal stays appendable; new records use the v2 shape.
+    ASSERT_TRUE(journal.append(makeOutcome("pr", "lru", 900)).ok());
+    journal.close();
+
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 2u);
+    const CellOutcome *appended = resumed.find("pr", "lru");
+    ASSERT_NE(appended, nullptr);
+    EXPECT_TRUE(appended->hasCellMetrics);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, DamagedMetricTreeFieldRejectsOnlyThatRecord)
+{
+    const std::string path = tempJournalPath("bad_tree");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 2000)).ok());
+    }
+    // A record whose summary is fine but whose JSON field is mangled —
+    // e.g. a torn write inside the tree — must re-run that cell only.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "pr\tlru\t1\t12500\t1000\t900\t40\t7\t60\t3\t{oops\n";
+    }
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 1u);
+    EXPECT_NE(resumed.find("bfs", "lru"), nullptr);
+    EXPECT_EQ(resumed.find("pr", "lru"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointJournal, SyncModeRoundTrips)
+{
+    const std::string path = tempJournalPath("sync");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        journal.setSync(true); // fsync after header and every record
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 2000)).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("pr", "lru", 900)).ok());
+    }
+    CheckpointJournal resumed;
+    ASSERT_TRUE(resumed.open(path).ok());
+    EXPECT_EQ(resumed.completedCells(), 2u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------- injected failures --
+
+/** Failpoint-driven tests leave the global registry disarmed. */
+class CheckpointFailpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(CheckpointFailpoint, OpenAndAppendFailuresSurfaceAsStatus)
+{
+    const std::string path = tempJournalPath("fp_status");
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(failpoint::configure("checkpoint.open=hit(1)").ok());
+    CheckpointJournal journal;
+    EXPECT_FALSE(journal.open(path).ok());
+
+    CheckpointJournal journal2;
+    ASSERT_TRUE(journal2.open(path).ok());
+    ASSERT_TRUE(
+        failpoint::configure("checkpoint.append=hit(1)").ok());
+    EXPECT_FALSE(journal2.append(makeOutcome("bfs", "lru", 1)).ok());
+    // The failed append must not poison the journal.
+    EXPECT_TRUE(journal2.append(makeOutcome("bfs", "lru", 1)).ok());
+    EXPECT_EQ(journal2.completedCells(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFailpoint, ThrowingFailpointsDegradeToStatusNotAbort)
+{
+    // Regression test for a bug the chaos soak caught: an exception
+    // escaping open()/append() — here injected, in production
+    // bad_alloc or a filesystem error — used to unwind uncaught and
+    // abort the process instead of degrading to a recoverable Status.
+    const std::string path = tempJournalPath("fp_throw");
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(
+        failpoint::configure("checkpoint.open=hit(1):throw").ok());
+    CheckpointJournal journal;
+    const Status open_status = journal.open(path);
+    ASSERT_FALSE(open_status.ok());
+    EXPECT_EQ(open_status.code(), StatusCode::Internal);
+    EXPECT_NE(open_status.message().find("unexpected exception"),
+              std::string::npos);
+
+    CheckpointJournal journal2;
+    ASSERT_TRUE(journal2.open(path).ok());
+    ASSERT_TRUE(failpoint::configure(
+                    "checkpoint.append=hit(1):throw").ok());
+    const Status append_status =
+        journal2.append(makeOutcome("bfs", "lru", 1));
+    ASSERT_FALSE(append_status.ok());
+    EXPECT_EQ(append_status.code(), StatusCode::Internal);
+    std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFailpoint, ReplayFailureDegradesToPartialRestore)
+{
+    const std::string path = tempJournalPath("fp_replay");
+    std::remove(path.c_str());
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("bfs", "lru", 1)).ok());
+        ASSERT_TRUE(journal.append(makeOutcome("pr", "lru", 2)).ok());
+    }
+    // An error while replaying record 2: the reopen surfaces it (or,
+    // for the default error action, skips the damaged record) without
+    // crashing; cells re-run at worst.
+    ASSERT_TRUE(
+        failpoint::configure("checkpoint.replay=hit(2):throw").ok());
+    CheckpointJournal resumed;
+    const Status s = resumed.open(path);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Internal);
     std::remove(path.c_str());
 }
 

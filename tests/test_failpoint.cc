@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the failpoint fault-injection subsystem: spec
+ * parsing, trigger schedules, actions, determinism, and the
+ * instrumented I/O boundaries (trace and metrics files).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stats/metrics.hh"
+#include "trace/trace_io.hh"
+#include "util/cancel.hh"
+#include "util/failpoint.hh"
+
+namespace cachescope {
+namespace {
+
+/** Every test leaves the global registry disarmed. */
+class FailpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(FailpointTest, KnownSitesAreSortedAndCoverTheBoundaries)
+{
+    const auto &sites = failpoint::knownSites();
+    ASSERT_FALSE(sites.empty());
+    EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+    // Spot-check the boundaries the harness depends on.
+    for (const char *site :
+         {"checkpoint.append", "checkpoint.open", "checkpoint.replay",
+          "harness.cell.attempt", "metrics.json.write", "sim.loop",
+          "trace.write.record", "trace.read.record"}) {
+        EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(),
+                                       std::string(site)))
+            << site;
+    }
+}
+
+TEST_F(FailpointTest, UnarmedByDefault)
+{
+    EXPECT_FALSE(failpoint::anyArmed());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+}
+
+TEST_F(FailpointTest, ConfigureRejectsUnknownSitesAndBadGrammar)
+{
+    EXPECT_FALSE(failpoint::configure("no.such.site=always").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=maybe").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=hit()").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=hit(0)").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=hit(x)").ok());
+    EXPECT_FALSE(failpoint::configure("checkpoint.append=prob(2)").ok());
+    EXPECT_FALSE(
+        failpoint::configure("checkpoint.append=always:explode").ok());
+}
+
+TEST_F(FailpointTest, ConfigureErrorLeavesPreviousConfigUntouched)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=always").ok());
+    EXPECT_TRUE(failpoint::anyArmed());
+    // A bad spec must not disturb the armed schedule.
+    EXPECT_FALSE(failpoint::configure("no.such.site=always").ok());
+    EXPECT_TRUE(failpoint::anyArmed());
+    EXPECT_FALSE(failpoint::hit("checkpoint.append").ok());
+}
+
+TEST_F(FailpointTest, EmptySpecDisarms)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=always").ok());
+    ASSERT_TRUE(failpoint::anyArmed());
+    ASSERT_TRUE(failpoint::configure("").ok());
+    EXPECT_FALSE(failpoint::anyArmed());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+}
+
+TEST_F(FailpointTest, HitNFiresExactlyOnceOnTheNthHit)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=hit(3)").ok());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_FALSE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_EQ(failpoint::hitCount("checkpoint.append"), 5u);
+    EXPECT_EQ(failpoint::fireCount("checkpoint.append"), 1u);
+}
+
+TEST_F(FailpointTest, EveryNFiresPeriodically)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=every(2)").ok());
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        fired += failpoint::hit("checkpoint.append").ok() ? 0 : 1;
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(failpoint::fireCount("checkpoint.append"), 5u);
+}
+
+TEST_F(FailpointTest, AlwaysAndOffTriggers)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=always;"
+                                     "checkpoint.open=off")
+                    .ok());
+    EXPECT_FALSE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_FALSE(failpoint::hit("checkpoint.append").ok());
+    EXPECT_TRUE(failpoint::hit("checkpoint.open").ok());
+}
+
+TEST_F(FailpointTest, InjectedErrorNamesTheSite)
+{
+    ASSERT_TRUE(failpoint::configure("checkpoint.append=always").ok());
+    const Status s = failpoint::hit("checkpoint.append");
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.message().find("checkpoint.append"), std::string::npos);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicForAGivenSeed)
+{
+    auto pattern = [](std::uint64_t seed) {
+        std::string out;
+        char spec[64];
+        std::snprintf(spec, sizeof spec,
+                      "checkpoint.append=prob(0.5,%llu)",
+                      static_cast<unsigned long long>(seed));
+        EXPECT_TRUE(failpoint::configure(spec).ok());
+        for (int i = 0; i < 64; ++i)
+            out += failpoint::hit("checkpoint.append").ok() ? '.' : 'X';
+        return out;
+    };
+    const std::string a = pattern(7);
+    const std::string b = pattern(7);
+    EXPECT_EQ(a, b);
+    // ~50% fire rate, not all-or-nothing.
+    const auto fires = std::count(a.begin(), a.end(), 'X');
+    EXPECT_GT(fires, 10);
+    EXPECT_LT(fires, 54);
+    // A different seed gives a different pattern.
+    EXPECT_NE(pattern(8), a);
+}
+
+TEST_F(FailpointTest, ThrowActionThrowsFailpointError)
+{
+    ASSERT_TRUE(
+        failpoint::configure("checkpoint.append=hit(1):throw").ok());
+    EXPECT_THROW((void)failpoint::hit("checkpoint.append"),
+                 FailpointError);
+    EXPECT_TRUE(failpoint::hit("checkpoint.append").ok());
+}
+
+TEST_F(FailpointTest, HitOrThrowConvertsErrorActionToException)
+{
+    ASSERT_TRUE(failpoint::configure("sim.loop=hit(1)").ok());
+    EXPECT_THROW(failpoint::hitOrThrow("sim.loop"), FailpointError);
+    EXPECT_NO_THROW(failpoint::hitOrThrow("sim.loop"));
+}
+
+TEST_F(FailpointTest, SleepActionWakesEarlyOnCancellation)
+{
+    ASSERT_TRUE(
+        failpoint::configure("sim.loop=always:sleep(30000)").ok());
+    CancelToken token;
+    token.requestCancel(CancelReason::Signal);
+    CancelScope scope(&token);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_TRUE(failpoint::hit("sim.loop").ok()); // sleep, not error
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // 30 s requested; the fired token must cut it to roughly one
+    // polling slice.
+    EXPECT_LT(elapsed_s, 2.0);
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsTheVariable)
+{
+    ::setenv("CACHESCOPE_FAILPOINTS", "checkpoint.append=always", 1);
+    EXPECT_TRUE(failpoint::configureFromEnv().ok());
+    EXPECT_FALSE(failpoint::hit("checkpoint.append").ok());
+    ::setenv("CACHESCOPE_FAILPOINTS", "bogus-spec", 1);
+    EXPECT_FALSE(failpoint::configureFromEnv().ok());
+    ::unsetenv("CACHESCOPE_FAILPOINTS");
+    EXPECT_TRUE(failpoint::configureFromEnv().ok());
+}
+
+// ------------------------- instrumented I/O boundaries -------------------
+
+TEST_F(FailpointTest, TraceWriteFailuresSurfaceAsCleanStatus)
+{
+    const std::string path =
+        ::testing::TempDir() + "/fp_trace_write.bin";
+    ASSERT_TRUE(failpoint::configure("trace.open.write=always").ok());
+    auto writer_or = TraceWriter::open(path);
+    EXPECT_FALSE(writer_or.ok());
+
+    ASSERT_TRUE(
+        failpoint::configure("trace.write.record=hit(3)").ok());
+    auto writer2_or = TraceWriter::open(path);
+    ASSERT_TRUE(writer2_or.ok());
+    TraceRecord rec;
+    rec.pc = 0x1000;
+    for (int i = 0; i < 5; ++i)
+        writer2_or.value()->onInstruction(rec);
+    // The injected failure is sticky, mirrors a real short write, and
+    // is reported by finish().
+    EXPECT_FALSE(writer2_or.value()->status().ok());
+    EXPECT_FALSE(writer2_or.value()->finish().ok());
+    std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, TraceReadFailuresSurfaceAsCleanStatus)
+{
+    const std::string path = ::testing::TempDir() + "/fp_trace_read.bin";
+    {
+        auto writer_or = TraceWriter::open(path);
+        ASSERT_TRUE(writer_or.ok());
+        TraceRecord rec;
+        rec.pc = 0x2000;
+        for (int i = 0; i < 10; ++i)
+            writer_or.value()->onInstruction(rec);
+        ASSERT_TRUE(writer_or.value()->finish().ok());
+    }
+
+    ASSERT_TRUE(failpoint::configure("trace.open.read=always").ok());
+    EXPECT_FALSE(TraceReader::open(path).ok());
+
+    ASSERT_TRUE(failpoint::configure("trace.read.record=hit(4)").ok());
+    auto reader_or = TraceReader::open(path);
+    ASSERT_TRUE(reader_or.ok());
+    TraceRecord rec;
+    int read = 0;
+    while (reader_or.value()->next(rec))
+        ++read;
+    EXPECT_LT(read, 10);
+    EXPECT_FALSE(reader_or.value()->status().ok());
+    std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, MetricsJsonWriteFailureSurfacesAsCleanStatus)
+{
+    ASSERT_TRUE(failpoint::configure("metrics.json.write=always").ok());
+    MetricsDocument doc;
+    doc.name = "fp";
+    doc.metrics.addCounter("a.b", 1);
+    const std::string path = ::testing::TempDir() + "/fp_metrics.json";
+    EXPECT_FALSE(writeMetricsJsonFile(doc, path).ok());
+    failpoint::reset();
+    EXPECT_TRUE(writeMetricsJsonFile(doc, path).ok());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cachescope

@@ -7,13 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 
 #include "core/cascade_lake.hh"
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "trace/pc_site.hh"
 #include "trace/traced_memory.hh"
+#include "util/failpoint.hh"
 #include "util/rng.hh"
 
 namespace cachescope {
@@ -285,6 +289,215 @@ TEST(Harness, WithoutRetriesTransientFailureFailsTheCell)
     EXPECT_EQ(report.outcomes[0].attempts, 1u);
     EXPECT_NE(report.outcomes[0].error.find("transient failure"),
               std::string::npos);
+}
+
+// -------------------------------------------- failure accounting --
+
+/** Sum of per-cell attempts, for checking sweep.attempts_total. */
+std::uint64_t
+attemptsSum(const SweepReport &report)
+{
+    std::uint64_t sum = 0;
+    for (const CellOutcome &out : report.outcomes)
+        sum += out.attempts;
+    return sum;
+}
+
+/**
+ * The bookkeeping invariants every sweep report must satisfy, however
+ * chaotic the run: the sweep.* counters are exactly the outcome list
+ * re-aggregated, and every failure carries a description.
+ */
+void
+expectConsistentAccounting(const SweepReport &report)
+{
+    std::size_t ok = 0, failed = 0, cancelled = 0, restored = 0;
+    for (const CellOutcome &out : report.outcomes) {
+        ok += out.ok ? 1 : 0;
+        failed += out.ok ? 0 : 1;
+        cancelled += out.cancelled ? 1 : 0;
+        restored += out.fromCheckpoint ? 1 : 0;
+        EXPECT_GE(out.wallMs, 0.0);
+        if (!out.ok) {
+            EXPECT_FALSE(out.error.empty())
+                << out.workload << "/" << out.policy;
+        }
+        if (out.cancelled) {
+            EXPECT_FALSE(out.ok);
+        }
+    }
+    const MetricsRegistry &m = report.metrics;
+    EXPECT_EQ(m.counter("sweep.cells_total"), report.outcomes.size());
+    EXPECT_EQ(m.counter("sweep.cells_ok"), ok);
+    EXPECT_EQ(m.counter("sweep.cells_failed"), failed);
+    EXPECT_EQ(m.counter("sweep.cells_cancelled"), cancelled);
+    EXPECT_EQ(m.counter("sweep.checkpoint_restores"), restored);
+    EXPECT_EQ(m.counter("sweep.attempts_total"), attemptsSum(report));
+    EXPECT_EQ(m.counter("sweep.executed"), report.executed);
+    EXPECT_EQ(report.failed(), failed);
+}
+
+/** Failpoint-driven tests leave the global registry disarmed. */
+class HarnessFailpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override { failpoint::reset(); }
+    void TearDown() override { failpoint::reset(); }
+};
+
+TEST_F(HarnessFailpoint, InjectedAttemptFailuresKeepAccountingConsistent)
+{
+    // Every second simulation attempt dies at the harness boundary;
+    // with one retry per cell some cells recover and some do not,
+    // depending on scheduling. The books must balance regardless.
+    ASSERT_TRUE(
+        failpoint::configure("harness.cell.attempt=every(2)").ok());
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini.a"),
+        std::make_shared<MiniWorkload>("mini.b"),
+    };
+    SuiteRunner runner(testConfig(), /*jobs=*/2);
+    runner.setVerbose(false);
+    runner.setRetries(1);
+    const SweepReport report =
+        runner.runChecked(suite, {"lru", "srrip"});
+
+    ASSERT_EQ(report.outcomes.size(), 4u);
+    EXPECT_EQ(report.executed, 4u);
+    expectConsistentAccounting(report);
+    for (const CellOutcome &out : report.outcomes) {
+        EXPECT_FALSE(out.cancelled);
+        EXPECT_GE(out.attempts, 1u);
+        EXPECT_LE(out.attempts, 2u);
+        if (!out.ok) {
+            EXPECT_NE(out.error.find("harness.cell.attempt"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST_F(HarnessFailpoint, RetriedCellCountsEveryAttemptOnce)
+{
+    ASSERT_TRUE(
+        failpoint::configure("harness.cell.attempt=hit(1)").ok());
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini"),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    runner.setRetries(1);
+    const SweepReport report = runner.runChecked(suite, {"lru"});
+
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_TRUE(report.outcomes[0].ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 2u);
+    EXPECT_EQ(report.metrics.counter("sweep.attempts_total"), 2u);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_ok"), 1u);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_failed"), 0u);
+    expectConsistentAccounting(report);
+}
+
+TEST_F(HarnessFailpoint, CheckpointRestoreDoesNotDoubleCountWork)
+{
+    const std::string path =
+        ::testing::TempDir() + "/harness_accounting.journal";
+    std::remove(path.c_str());
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini"),
+    };
+
+    std::uint64_t first_attempts = 0;
+    {
+        CheckpointJournal journal;
+        ASSERT_TRUE(journal.open(path).ok());
+        SuiteRunner runner(testConfig(), 1);
+        runner.setVerbose(false);
+        runner.setCheckpoint(&journal);
+        const SweepReport report =
+            runner.runChecked(suite, {"lru", "srrip"});
+        EXPECT_EQ(report.executed, 2u);
+        EXPECT_EQ(report.metrics.counter("sweep.checkpoint_restores"),
+                  0u);
+        expectConsistentAccounting(report);
+        first_attempts = report.metrics.counter("sweep.attempts_total");
+    }
+
+    // The resumed run restores both cells: nothing executes, no new
+    // attempts are invented, and the accounting still balances.
+    CheckpointJournal journal;
+    ASSERT_TRUE(journal.open(path).ok());
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    runner.setCheckpoint(&journal);
+    const SweepReport report =
+        runner.runChecked(suite, {"lru", "srrip"});
+    EXPECT_EQ(report.executed, 0u);
+    EXPECT_EQ(report.metrics.counter("sweep.checkpoint_restores"), 2u);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_ok"), 2u);
+    EXPECT_EQ(report.metrics.counter("sweep.attempts_total"),
+              first_attempts);
+    for (const CellOutcome &out : report.outcomes)
+        EXPECT_TRUE(out.fromCheckpoint);
+    expectConsistentAccounting(report);
+    std::remove(path.c_str());
+}
+
+TEST_F(HarnessFailpoint, CellTimeoutReapsHungCellWithoutRetries)
+{
+    // The cell sleeps 5 s inside the simulation loop; its 0.2 s budget
+    // must reap it long before that, and cancellation must not burn
+    // the configured retries.
+    ASSERT_TRUE(
+        failpoint::configure("sim.loop=hit(1):sleep(5000)").ok());
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini"),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    runner.setRetries(3);
+    runner.setCellTimeout(0.2);
+    const SweepReport report = runner.runChecked(suite, {"lru"});
+
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    const CellOutcome &out = report.outcomes[0];
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.cancelled);
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_EQ(out.error.rfind("cancelled:", 0), 0u) << out.error;
+    EXPECT_LT(out.wallMs, 3000.0);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_cancelled"), 1u);
+    expectConsistentAccounting(report);
+}
+
+TEST_F(HarnessFailpoint, SweepDeadlinePreemptsUnstartedCells)
+{
+    // One serial worker; the first cell stalls past the 0.25 s sweep
+    // deadline, so the remaining cells must be recorded as cancelled
+    // sentinels without ever running.
+    ASSERT_TRUE(
+        failpoint::configure("sim.loop=hit(1):sleep(5000)").ok());
+    std::vector<std::shared_ptr<Workload>> suite = {
+        std::make_shared<MiniWorkload>("mini.a"),
+        std::make_shared<MiniWorkload>("mini.b"),
+        std::make_shared<MiniWorkload>("mini.c"),
+    };
+    SuiteRunner runner(testConfig(), 1);
+    runner.setVerbose(false);
+    runner.setSweepDeadline(0.25);
+    const SweepReport report = runner.runChecked(suite, {"lru"});
+
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_cancelled"), 3u);
+    EXPECT_EQ(report.metrics.counter("sweep.cells_ok"), 0u);
+    // The stalled cell consumed the only real attempt.
+    EXPECT_EQ(report.outcomes[0].attempts, 1u);
+    for (std::size_t i = 1; i < report.outcomes.size(); ++i) {
+        EXPECT_EQ(report.outcomes[i].attempts, 0u);
+        EXPECT_NE(report.outcomes[i].error.find("cancelled before start"),
+                  std::string::npos)
+            << report.outcomes[i].error;
+    }
+    expectConsistentAccounting(report);
 }
 
 TEST(Harness, LegacyRunReturnsTheSurvivors)

@@ -130,6 +130,34 @@ TEST(ParseU64, RejectsGarbage)
     EXPECT_FALSE(parseU64("18446744073709551616").ok()); // 2^64
 }
 
+TEST(ParseF64NonNegative, AcceptsPlainAndFractionalSeconds)
+{
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("0").value(), 0.0);
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("2").value(), 2.0);
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("0.5").value(), 0.5);
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("1.25").value(), 1.25);
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("1e3").value(), 1000.0);
+    EXPECT_DOUBLE_EQ(parseF64NonNegative("2.5E-1").value(), 0.25);
+}
+
+TEST(ParseF64NonNegative, RejectsGarbage)
+{
+    EXPECT_FALSE(parseF64NonNegative("").ok());
+    EXPECT_FALSE(parseF64NonNegative("abc").ok());
+    EXPECT_FALSE(parseF64NonNegative("1.5s").ok()); // trailing unit
+    EXPECT_FALSE(parseF64NonNegative("-1").ok());   // negative
+    EXPECT_FALSE(parseF64NonNegative("-0.5").ok());
+    EXPECT_FALSE(parseF64NonNegative("+1").ok());   // signs disallowed
+    EXPECT_FALSE(parseF64NonNegative(" 1").ok());
+    EXPECT_FALSE(parseF64NonNegative("1 ").ok());
+    EXPECT_FALSE(parseF64NonNegative("1..5").ok());
+    EXPECT_FALSE(parseF64NonNegative(".5").ok());   // must start digit
+    EXPECT_FALSE(parseF64NonNegative("inf").ok());
+    EXPECT_FALSE(parseF64NonNegative("nan").ok());
+    EXPECT_FALSE(parseF64NonNegative("0x1p3").ok()); // hex floats
+    EXPECT_FALSE(parseF64NonNegative("1e999").ok()); // overflow
+}
+
 TEST(Checksum64, DeterministicAndBitSensitive)
 {
     const char data[] = "the quick brown fox";

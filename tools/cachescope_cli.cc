@@ -15,9 +15,14 @@
  *
  * Exit codes: 0 success; 1 bad input (flags, configuration, unusable
  * trace); 2 a sweep finished but one or more cells failed (the table
- * of successful cells and a failure summary are still printed).
+ * of successful cells and a failure summary are still printed);
+ * 130/143 interrupted by SIGINT/SIGTERM after in-flight cells were
+ * cooperatively cancelled and completed work was checkpointed.
  */
 
+#include <csignal>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +40,8 @@
 #include "stats/metrics.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
+#include "util/cancel.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 
@@ -42,24 +49,64 @@ using namespace cachescope;
 
 namespace {
 
+/**
+ * Fired by the SIGINT/SIGTERM handler; sweeps chain to it so ^C stops
+ * scheduling new cells and cooperatively unwinds in-flight ones while
+ * completed work still reaches the checkpoint journal.
+ */
+CancelToken g_signalToken;
+/** The delivered signal number (0 = none), for the 128+N exit code. */
+std::atomic<int> g_signalNumber{0};
+
+extern "C" void
+onTerminationSignal(int signo)
+{
+    // Async-signal-safe: one relaxed store + one CAS, no allocation,
+    // no locks, no stdio.
+    g_signalNumber.store(signo, std::memory_order_relaxed);
+    g_signalToken.requestCancel(CancelReason::Signal);
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onTerminationSignal;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESETHAND: the first signal requests a graceful stop; a
+    // second one gets the default disposition and kills immediately,
+    // so an operator is never trapped behind a wedged shutdown.
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
 /** Tiny flag parser: --key value pairs plus boolean --key. */
 class Args
 {
   public:
+    // GCC 12 reports a spurious -Wrestrict (PR105329) when it inlines
+    // these map inserts into main; the copies are tiny and disjoint.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
     Args(int argc, char **argv, int first)
     {
         for (int i = first; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0)
-                fatal("unexpected argument '%s'", key.c_str());
-            key = key.substr(2);
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                fatal("unexpected argument '%s'", argv[i]);
+            const std::string key(argv[i] + 2);
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                values[key] = argv[++i];
+                values.insert_or_assign(key, argv[++i]);
             } else {
-                values[key] = "1";
+                values.insert_or_assign(key, "1");
             }
         }
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     std::string
     get(const std::string &key, const std::string &fallback) const
@@ -75,6 +122,25 @@ class Args
         if (it == values.end())
             return fallback;
         auto parsed = parseU64(it->second);
+        if (!parsed.ok()) {
+            fatal("flag --%s: %s", key.c_str(),
+                  parsed.status().message().c_str());
+        }
+        return parsed.take();
+    }
+
+    /**
+     * Strictly parsed non-negative seconds (fractions allowed);
+     * rejects negatives, inf/nan, and trailing garbage via
+     * parseF64NonNegative rather than silently truncating.
+     */
+    double
+    getSeconds(const std::string &key, double fallback) const
+    {
+        auto it = values.find(key);
+        if (it == values.end())
+            return fallback;
+        auto parsed = parseF64NonNegative(it->second);
         if (!parsed.ok()) {
             fatal("flag --%s: %s", key.c_str(),
                   parsed.status().message().c_str());
@@ -236,10 +302,14 @@ cmdSweep(const Args &args)
     SuiteRunner runner(configFrom(args, "lru"),
                        static_cast<unsigned>(args.getU64("jobs", 0)));
     runner.setRetries(static_cast<unsigned>(args.getU64("retries", 0)));
+    runner.setCellTimeout(args.getSeconds("cell-timeout-s", 0.0));
+    runner.setSweepDeadline(args.getSeconds("deadline-s", 0.0));
+    runner.setCancelToken(&g_signalToken);
 
     CheckpointJournal journal;
     if (args.has("checkpoint")) {
         const std::string path = args.get("checkpoint", "");
+        journal.setSync(args.has("checkpoint-sync"));
         if (Status s = journal.open(path); !s.ok()) {
             std::fprintf(stderr, "error: %s\n", s.message().c_str());
             return 1;
@@ -306,9 +376,29 @@ cmdSweep(const Args &args)
                              outcome.error.c_str());
             }
         }
-        return 2;
     }
-    return 0;
+
+    // A termination signal trumps the failed-cells code: 128+N tells
+    // the caller the sweep was interrupted, and the stderr summary
+    // says how much of it survives in the journal for --checkpoint
+    // resumption.
+    if (const int signo = g_signalNumber.load(); signo != 0) {
+        std::size_t done = 0;
+        for (const auto &outcome : report.outcomes)
+            if (outcome.ok)
+                ++done;
+        std::fprintf(stderr,
+                     "\ninterrupted by %s: %zu of %zu cell(s) "
+                     "complete%s\n",
+                     signo == SIGINT ? "SIGINT" : "SIGTERM", done,
+                     report.outcomes.size(),
+                     args.has("checkpoint")
+                         ? " and checkpointed; re-run with the same "
+                           "--checkpoint to resume"
+                         : " (no --checkpoint: progress is lost)");
+        return 128 + signo;
+    }
+    return report.allOk() ? 0 : 2;
 }
 
 int
@@ -422,8 +512,20 @@ usage()
         "sweep flags:  --jobs N --retries N --checkpoint FILE\n"
         "              (--checkpoint resumes an interrupted sweep,\n"
         "               skipping cells the journal says are complete)\n"
+        "              --checkpoint-sync (fsync the journal after\n"
+        "               every record: survives machine crashes, not\n"
+        "               just process kills)\n"
+        "              --cell-timeout-s S (reap any cell past S\n"
+        "               seconds as a failed outcome; fractions ok)\n"
+        "              --deadline-s S (cancel the whole sweep after S\n"
+        "               seconds; finished cells keep their results)\n"
+        "debug flags:  --failpoints SPEC (deterministic fault\n"
+        "               injection, e.g. 'checkpoint.append=every(3)';\n"
+        "               also read from $CACHESCOPE_FAILPOINTS)\n"
         "\n"
-        "exit codes: 0 ok; 1 bad input; 2 sweep had failed cells\n");
+        "exit codes: 0 ok; 1 bad input; 2 sweep had failed cells;\n"
+        "            130/143 interrupted by SIGINT/SIGTERM (in-flight\n"
+        "            cells cancelled, completed cells checkpointed)\n");
 }
 
 } // anonymous namespace
@@ -437,6 +539,20 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const Args args(argc, argv, 2);
+
+    // Fault injection: the environment arms sites first so wrapper
+    // scripts can inject without touching flags; an explicit
+    // --failpoints then replaces that configuration entirely.
+    if (Status s = failpoint::configureFromEnv(); !s.ok())
+        fatal("$CACHESCOPE_FAILPOINTS: %s", s.message().c_str());
+    if (args.has("failpoints")) {
+        if (Status s = failpoint::configure(args.get("failpoints", ""));
+            !s.ok()) {
+            fatal("--failpoints: %s", s.message().c_str());
+        }
+    }
+    installSignalHandlers();
+
     if (cmd == "policies")
         return cmdPolicies();
     if (cmd == "run")

@@ -56,25 +56,33 @@ constexpr const char *kKnownFlags[] = {
 class Args
 {
   public:
+    // GCC 12 reports a spurious -Wrestrict (PR105329) when it inlines
+    // these map inserts into main; the copies are tiny and disjoint.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
     Args(int argc, char **argv, int first)
     {
         for (int i = first; i < argc; ++i) {
-            std::string key = argv[i];
-            if (key.rfind("--", 0) != 0)
-                fatal("unexpected argument '%s'", key.c_str());
-            key = key.substr(2);
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                fatal("unexpected argument '%s'", argv[i]);
+            const std::string key(argv[i] + 2);
             if (std::find_if(std::begin(kKnownFlags), std::end(kKnownFlags),
                              [&key](const char *f) { return key == f; }) ==
                 std::end(kKnownFlags)) {
                 fatal("unknown flag '--%s' (see --help)", key.c_str());
             }
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-                values[key] = argv[++i];
+                values.insert_or_assign(key, argv[++i]);
             } else {
-                values[key] = "1";
+                values.insert_or_assign(key, "1");
             }
         }
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     std::string
     get(const std::string &key, const std::string &fallback) const
