@@ -195,10 +195,17 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     if (accessHook && type != AccessType::Writeback)
         accessHook(block, pc, type);
 
-    // Lookup.
+    // Lookup: a single pass finds the hit way and records the first
+    // invalid way so the miss path below needs no second scan.
+    std::uint32_t first_invalid = ReplacementPolicy::kBypassWay;
     for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
         Line &l = line(set, w);
-        if (l.valid && l.block == block) {
+        if (!l.valid) {
+            if (first_invalid == ReplacementPolicy::kBypassWay)
+                first_invalid = w;
+            continue;
+        }
+        if (l.block == block) {
             ++stats_.hits[type_idx];
             if (type == AccessType::Store || type == AccessType::Writeback)
                 l.dirty = true;
@@ -227,14 +234,8 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
         fill_done = below->access(addr, pc, type, lookup_done);
 
     // Victim selection: invalid ways fill first without consulting the
-    // policy (matching ChampSim).
-    std::uint32_t victim_way = ReplacementPolicy::kBypassWay;
-    for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
-        if (!line(set, w).valid) {
-            victim_way = w;
-            break;
-        }
-    }
+    // policy (matching ChampSim); the lookup scan already found one.
+    std::uint32_t victim_way = first_invalid;
     Addr victim_block = kInvalidAddr;
     if (victim_way == ReplacementPolicy::kBypassWay) {
         victim_way = repl->findVictim(set, pc, block, type);
