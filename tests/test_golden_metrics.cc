@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Golden metric-tree byte-identity test.
+ *
+ * Runs a small deterministic (workload x policy) sweep, strips the
+ * wall-clock noise, serializes the full metric tree to canonical JSON
+ * and pins its Checksum64 digest. Any change to a simulated statistic
+ * anywhere in the stack — cache bookkeeping, policy decisions, DRAM
+ * timing, metric export — shifts the digest and fails here.
+ *
+ * This is the safety net for hot-path rewrites (SoA tag stores,
+ * devirtualized dispatch, batched decode): such refactors must change
+ * wall-clock only, never a simulated number. If you changed simulated
+ * behavior *on purpose*, re-pin kGoldenDigest with the value printed
+ * by the failing run and say so in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cascade_lake.hh"
+#include "harness/experiment.hh"
+#include "stats/metrics.hh"
+#include "util/checksum.hh"
+#include "workloads/synthetic.hh"
+
+namespace cachescope {
+namespace {
+
+/**
+ * Pinned digest of the stripped sweep metric tree. Computed once on
+ * the pre-SoA AoS cache (PR 7, first commit); every refactor since
+ * must reproduce it bit-for-bit.
+ */
+constexpr std::uint64_t kGoldenDigest = 0x2b8d10b21865c71full;
+
+/**
+ * The sweep grid: two synthetic kernels with distinct access-pattern
+ * classes (cyclic thrash, skewed hot/cold) over a shrunken hierarchy,
+ * crossed with policies covering every devirtualized hit-update fast
+ * path (LRU touch, FIFO no-op, NRU mark, RRIP family) plus one
+ * learned policy that stays on the virtual slow path.
+ */
+const std::vector<std::string> kGoldenPolicies = {
+    "lru", "fifo", "nru", "srrip", "drrip", "ship",
+};
+
+std::vector<std::shared_ptr<Workload>>
+goldenSuite()
+{
+    SynthParams thrash;
+    thrash.pcWorkloadId = 61;
+    thrash.seed = 11;
+    thrash.mainBytes = 96ull << 10; // ~1.5x the shrunken LLC
+    thrash.aluPerOp = 2;
+
+    SynthParams hotcold;
+    hotcold.pcWorkloadId = 62;
+    hotcold.seed = 12;
+    hotcold.mainBytes = 256ull << 10;
+    hotcold.hotBytes = 24ull << 10;
+    hotcold.hotFraction = 0.9;
+    hotcold.aluPerOp = 2;
+
+    return {
+        std::make_shared<SyntheticWorkload>("golden",
+                                            SynthPattern::ScanThrash,
+                                            thrash),
+        std::make_shared<SyntheticWorkload>("golden",
+                                            SynthPattern::HotCold,
+                                            hotcold),
+    };
+}
+
+SimConfig
+goldenConfig()
+{
+    SimConfig cfg = cascadeLakeConfig("lru", /*warmup=*/5'000,
+                                      /*measure=*/60'000);
+    // Shrink every level so the small kernels produce real LLC traffic
+    // (hits, misses, evictions, writebacks) inside the tiny window.
+    cfg.hierarchy.l1d.sizeBytes = 4 * 1024;
+    cfg.hierarchy.l1d.numWays = 4;
+    cfg.hierarchy.l1i.sizeBytes = 4 * 1024;
+    cfg.hierarchy.l1i.numWays = 4;
+    cfg.hierarchy.l2.sizeBytes = 16 * 1024;
+    cfg.hierarchy.l2.numWays = 4;
+    cfg.hierarchy.llc.sizeBytes = 64 * 1024;
+    cfg.hierarchy.llc.numWays = 8;
+    // Prefetchers on two levels so the prefetch flows (issued,
+    // useful, prefetched-line bookkeeping) are part of the digest.
+    cfg.hierarchy.l1d.prefetcher = "next_line";
+    cfg.hierarchy.l2.prefetcher = "stride";
+    return cfg;
+}
+
+/**
+ * Copy @p in minus wall-clock noise: timing gauges (.wall_ms,
+ * .wall_seconds, .throughput_mips suffixes) and the cell wall-time
+ * histogram. Everything else — every counter, every derived gauge,
+ * every histogram — is simulated state and must be byte-stable.
+ */
+MetricsRegistry
+stripTiming(const MetricsRegistry &in)
+{
+    const auto ends_with = [](const std::string &s, const char *suffix) {
+        const std::size_t n = std::char_traits<char>::length(suffix);
+        return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+    };
+    MetricsRegistry out;
+    for (const auto &[path, value] : in.counters())
+        out.setCounter(path, value);
+    for (const auto &[path, value] : in.gauges()) {
+        if (ends_with(path, ".wall_ms") || ends_with(path, ".wall_seconds") ||
+            ends_with(path, ".throughput_mips"))
+            continue;
+        out.setGauge(path, value);
+    }
+    for (const auto &[path, snap] : in.histograms()) {
+        if (path == "sweep.cell_wall_ms")
+            continue;
+        out.setHistogram(path, snap);
+    }
+    return out;
+}
+
+TEST(GoldenMetrics, MiniSweepMetricTreeDigestIsPinned)
+{
+    SuiteRunner runner(goldenConfig(), /*jobs=*/1);
+    runner.setVerbose(false);
+    const SweepReport report =
+        runner.runChecked(goldenSuite(), kGoldenPolicies);
+    ASSERT_TRUE(report.allOk());
+    ASSERT_EQ(report.outcomes.size(),
+              2 * kGoldenPolicies.size());
+
+    MetricsDocument doc;
+    doc.name = "golden";
+    doc.wallMs = 0.0;
+    doc.metrics = stripTiming(report.metrics);
+    const std::string json = metricsToJson(doc);
+
+    Checksum64 sum;
+    sum.update(json.data(), json.size());
+    const std::uint64_t digest = sum.digest();
+
+    char actual[32];
+    std::snprintf(actual, sizeof(actual), "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    EXPECT_EQ(digest, kGoldenDigest)
+        << "Golden metric tree changed: digest is now " << actual
+        << " over " << json.size() << " JSON bytes.\n"
+        << "A hot-path refactor must NOT get here (it may only change "
+        << "wall-clock). If the simulated-behavior change is "
+        << "intentional, re-pin kGoldenDigest in "
+        << "tests/test_golden_metrics.cc and justify it in the commit.";
+}
+
+/**
+ * The digest must not depend on scheduling: a parallel sweep of the
+ * same grid has to produce the identical stripped tree. This overlaps
+ * the difftest serial-vs-jobs invariant but pins it to the exact grid
+ * whose digest is golden above.
+ */
+TEST(GoldenMetrics, ParallelSweepMatchesSerialDigest)
+{
+    SuiteRunner serial(goldenConfig(), /*jobs=*/1);
+    serial.setVerbose(false);
+    SuiteRunner parallel(goldenConfig(), /*jobs=*/2);
+    parallel.setVerbose(false);
+
+    const SweepReport a = serial.runChecked(goldenSuite(), kGoldenPolicies);
+    const SweepReport b = parallel.runChecked(goldenSuite(), kGoldenPolicies);
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+
+    MetricsDocument da, db;
+    da.name = db.name = "golden";
+    da.metrics = stripTiming(a.metrics);
+    db.metrics = stripTiming(b.metrics);
+    EXPECT_EQ(metricsToJson(da), metricsToJson(db));
+}
+
+} // anonymous namespace
+} // namespace cachescope
