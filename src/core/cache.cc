@@ -5,7 +5,12 @@
 
 #include "core/cache.hh"
 
+#include <algorithm>
+#include <typeinfo>
+
 #include "dram/dram.hh"
+#include "replacement/basic.hh"
+#include "replacement/rrip.hh"
 #include "stats/metrics.hh"
 #include "util/failpoint.hh"
 #include "util/intmath.hh"
@@ -137,9 +142,12 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *next,
     : cfg(config), sets(config.numSets()),
       blockBits(floorLog2(config.blockBytes)), below(next),
       repl(std::move(policy)), prefetch(makePrefetcher(config.prefetcher)),
-      linesArr(static_cast<std::size_t>(sets) * config.numWays)
+      tags_(static_cast<std::size_t>(sets) * config.numWays, kInvalidAddr),
+      validBits_((tags_.size() + 63) / 64, 0),
+      dirtyBits_((tags_.size() + 63) / 64, 0),
+      prefetchedBits_((tags_.size() + 63) / 64, 0)
 {
-    // The line array above is the simulator's big build-up allocation;
+    // The tag store above is the simulator's big build-up allocation;
     // this site stands in for it failing (std::bad_alloc territory) so
     // the harness's per-cell isolation can be exercised against
     // resource exhaustion during construction.
@@ -150,18 +158,47 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *next,
     CS_ASSERT(repl->geometry().numSets == sets &&
               repl->geometry().numWays == cfg.numWays,
               "policy geometry does not match the cache");
+    belowCache = dynamic_cast<Cache *>(below);
+    belowDram = dynamic_cast<DramLevel *>(below);
+    detectHitFastPath();
 }
 
-Cache::Line &
-Cache::line(std::uint32_t set, std::uint32_t way)
+void
+Cache::detectHitFastPath()
 {
-    return linesArr[static_cast<std::size_t>(set) * cfg.numWays + way];
+    // Exact typeid matches only: a subclass of a builtin policy could
+    // override update() with different hit semantics, so anything not
+    // literally one of these classes keeps the virtual slow path.
+    const std::type_info &t = typeid(*repl);
+    if (t == typeid(LruPolicy)) {
+        lruFast_ = static_cast<LruPolicy *>(repl.get());
+        hitUpdate_ = HitUpdate::LruTouch;
+    } else if (t == typeid(FifoPolicy) || t == typeid(RandomPolicy)) {
+        // FifoPolicy::update ignores hits (fill-time only); Random has
+        // no metadata at all.
+        hitUpdate_ = HitUpdate::NoOp;
+    } else if (t == typeid(NruPolicy)) {
+        nruFast_ = static_cast<NruPolicy *>(repl.get());
+        hitUpdate_ = HitUpdate::NruMark;
+    } else if (t == typeid(SrripPolicy) || t == typeid(BrripPolicy) ||
+               t == typeid(DrripPolicy)) {
+        // All three share RripBase::update, which on hits promotes the
+        // line to RRPV 0 and nothing else.
+        rripFast_ = static_cast<RripBase *>(repl.get());
+        hitUpdate_ = HitUpdate::RripTouch;
+    } else {
+        hitUpdate_ = HitUpdate::Generic;
+    }
 }
 
-const Cache::Line &
-Cache::line(std::uint32_t set, std::uint32_t way) const
+Cycle
+Cache::belowAccess(Addr addr, Pc pc, AccessType type, Cycle now)
 {
-    return linesArr[static_cast<std::size_t>(set) * cfg.numWays + way];
+    if (belowCache)
+        return belowCache->access(addr, pc, type, now);
+    if (belowDram)
+        return belowDram->access(addr, pc, type, now);
+    return below->access(addr, pc, type, now);
 }
 
 bool
@@ -169,8 +206,9 @@ Cache::contains(Addr addr) const
 {
     const Addr block = addr >> blockBits;
     const std::uint32_t set = static_cast<std::uint32_t>(block & (sets - 1));
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.numWays;
     for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
-        if (line(set, w).valid && line(set, w).block == block)
+        if (testBit(validBits_, base + w) && tags_[base + w] == block)
             return true;
     }
     return false;
@@ -179,8 +217,10 @@ Cache::contains(Addr addr) const
 void
 Cache::invalidateAll()
 {
-    for (auto &l : linesArr)
-        l = Line{};
+    std::fill(tags_.begin(), tags_.end(), kInvalidAddr);
+    std::fill(validBits_.begin(), validBits_.end(), 0);
+    std::fill(dirtyBits_.begin(), dirtyBits_.end(), 0);
+    std::fill(prefetchedBits_.begin(), prefetchedBits_.end(), 0);
     stats_.reset();
 }
 
@@ -192,29 +232,47 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     const auto type_idx = static_cast<std::size_t>(type);
     const Cycle lookup_done = now + cfg.hitLatency;
 
-    if (accessHook && type != AccessType::Writeback)
+    if (hooksArmed_ && accessHook && type != AccessType::Writeback)
         accessHook(block, pc, type);
 
-    // Lookup: a single pass finds the hit way and records the first
-    // invalid way so the miss path below needs no second scan.
+    // Lookup: a single pass over the set's contiguous tag run finds the
+    // hit way and records the first invalid way so the miss path below
+    // needs no second scan.
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.numWays;
     std::uint32_t first_invalid = ReplacementPolicy::kBypassWay;
     for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
-        Line &l = line(set, w);
-        if (!l.valid) {
+        const std::size_t idx = base + w;
+        if (!testBit(validBits_, idx)) {
             if (first_invalid == ReplacementPolicy::kBypassWay)
                 first_invalid = w;
             continue;
         }
-        if (l.block == block) {
+        if (tags_[idx] == block) {
             ++stats_.hits[type_idx];
             if (type == AccessType::Store || type == AccessType::Writeback)
-                l.dirty = true;
-            if (l.prefetched && type != AccessType::Prefetch) {
+                setBit(dirtyBits_, idx);
+            if (testBit(prefetchedBits_, idx) &&
+                type != AccessType::Prefetch) {
                 ++stats_.prefetchesUseful;
-                l.prefetched = false;
+                clearBit(prefetchedBits_, idx);
             }
-            repl->update(set, w, pc, block, type, /*hit=*/true);
-            if (eventHook) {
+            switch (hitUpdate_) {
+              case HitUpdate::LruTouch:
+                lruFast_->touchHit(set, w);
+                break;
+              case HitUpdate::NoOp:
+                break;
+              case HitUpdate::NruMark:
+                nruFast_->markReferenced(set, w);
+                break;
+              case HitUpdate::RripTouch:
+                rripFast_->touchHit(set, w);
+                break;
+              case HitUpdate::Generic:
+                repl->update(set, w, pc, block, type, /*hit=*/true);
+                break;
+            }
+            if (hooksArmed_ && eventHook) {
                 eventHook({block, pc, type, set, w, /*hit=*/true,
                            /*bypassed=*/false, kInvalidAddr});
             }
@@ -231,7 +289,7 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     // and prefetches go down.
     Cycle fill_done = lookup_done;
     if (type != AccessType::Writeback)
-        fill_done = below->access(addr, pc, type, lookup_done);
+        fill_done = belowAccess(addr, pc, type, lookup_done);
 
     // Victim selection: invalid ways fill first without consulting the
     // policy (matching ChampSim); the lookup scan already found one.
@@ -243,7 +301,7 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
             // Policy elected to bypass: nothing is installed and the
             // policy is not updated for this access.
             ++stats_.bypasses;
-            if (eventHook) {
+            if (hooksArmed_ && eventHook) {
                 eventHook({block, pc, type, set, 0, /*hit=*/false,
                            /*bypassed=*/true, kInvalidAddr});
             }
@@ -251,25 +309,31 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
         }
         CS_ASSERT(victim_way < cfg.numWays, "policy returned a bad way");
 
-        Line &victim = line(set, victim_way);
-        victim_block = victim.block;
+        const std::size_t vidx = base + victim_way;
+        victim_block = tags_[vidx];
         ++stats_.evictions;
         ++stats_.evictionsByFill[type_idx];
-        if (victim.dirty) {
+        if (testBit(dirtyBits_, vidx)) {
             ++stats_.writebacksIssued;
             // Off the critical path: latency result ignored.
-            below->access(victim.block << blockBits, 0,
-                          AccessType::Writeback, fill_done);
+            belowAccess(victim_block << blockBits, 0,
+                        AccessType::Writeback, fill_done);
         }
     }
 
-    Line &l = line(set, victim_way);
-    l.block = block;
-    l.valid = true;
-    l.dirty = (type == AccessType::Store || type == AccessType::Writeback);
-    l.prefetched = (type == AccessType::Prefetch);
+    const std::size_t idx = base + victim_way;
+    tags_[idx] = block;
+    setBit(validBits_, idx);
+    if (type == AccessType::Store || type == AccessType::Writeback)
+        setBit(dirtyBits_, idx);
+    else
+        clearBit(dirtyBits_, idx);
+    if (type == AccessType::Prefetch)
+        setBit(prefetchedBits_, idx);
+    else
+        clearBit(prefetchedBits_, idx);
     repl->update(set, victim_way, pc, block, type, /*hit=*/false);
-    if (eventHook) {
+    if (hooksArmed_ && eventHook) {
         eventHook({block, pc, type, set, victim_way, /*hit=*/false,
                    /*bypassed=*/false, victim_block});
     }

@@ -11,6 +11,14 @@
  * available. A hit costs the level's hit latency; a miss adds the level
  * below recursively. Writebacks update lower-level state but never
  * contribute to the returned (critical-path) latency.
+ *
+ * Hot-path layout: line state lives in structure-of-arrays form — one
+ * contiguous tag array plus packed valid/dirty/prefetched bitmaps —
+ * so the per-access set scan touches one dense tag run instead of
+ * striding over padded structs. The class is `final` and the common
+ * L1→L2→LLC→DRAM hops bypass the virtual MemoryLevel boundary through
+ * cached concrete pointers; the virtual path remains for any other
+ * MemoryLevel (e.g. the difftest FlatLevel).
  */
 
 #ifndef CACHESCOPE_CORE_CACHE_HH
@@ -29,6 +37,9 @@
 namespace cachescope {
 
 class MetricsRegistry;
+class LruPolicy;
+class NruPolicy;
+class RripBase;
 
 /** Anything a cache can forward misses to. */
 class MemoryLevel
@@ -117,10 +128,12 @@ struct CacheStats
     void reset() { *this = CacheStats{}; }
 };
 
+class DramLevel;
+
 /**
  * One cache level.
  */
-class Cache : public MemoryLevel
+class Cache final : public MemoryLevel
 {
   public:
     /**
@@ -167,7 +180,11 @@ class Cache : public MemoryLevel
      * the Belady oracle and by tests.
      */
     using AccessHook = std::function<void(Addr, Pc, AccessType)>;
-    void setAccessHook(AccessHook hook) { accessHook = std::move(hook); }
+    void setAccessHook(AccessHook hook)
+    {
+        accessHook = std::move(hook);
+        rearmHooks();
+    }
 
     /**
      * One fully resolved access, as observed by the event hook. Fired
@@ -194,40 +211,102 @@ class Cache : public MemoryLevel
     };
 
     using EventHook = std::function<void(const AccessEvent &)>;
-    void setEventHook(EventHook hook) { eventHook = std::move(hook); }
+    void setEventHook(EventHook hook)
+    {
+        eventHook = std::move(hook);
+        rearmHooks();
+    }
 
   private:
-    struct Line
+    /**
+     * Devirtualized hit-path policy update. The builtin policies'
+     * on-hit behaviour is a one-line metadata touch; detecting the
+     * exact concrete type at construction lets the hit path skip the
+     * virtual update() call. Detection is by exact typeid so unknown
+     * subclasses always take Generic (the full virtual call).
+     */
+    enum class HitUpdate : std::uint8_t
     {
-        Addr block = kInvalidAddr; ///< block-aligned address
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;   ///< filled by prefetch, not yet used
+        Generic,   ///< virtual repl->update(..., hit=true)
+        LruTouch,  ///< LruPolicy: lastUse = ++clock
+        NoOp,      ///< FifoPolicy / RandomPolicy: hits change nothing
+        NruMark,   ///< NruPolicy: referenced bit set
+        RripTouch, ///< RRIP family: RRPV promoted to 0
     };
 
     /** Run the prefetcher after a demand access and issue its picks. */
     void issuePrefetches(Addr block, Pc pc, bool hit, Cycle now);
 
-    Line &line(std::uint32_t set, std::uint32_t way);
-    const Line &line(std::uint32_t set, std::uint32_t way) const;
+    /** Classify repl's concrete type and cache the fast-path pointer. */
+    void detectHitFastPath();
+
+    /** Keep hooksArmed_ in sync with the two hook slots. */
+    void rearmHooks()
+    {
+        hooksArmed_ = static_cast<bool>(accessHook) ||
+                      static_cast<bool>(eventHook);
+    }
+
+    /**
+     * Forward an access to the level below, using the cached concrete
+     * pointer (direct call — Cache and DramLevel are final) when the
+     * next level is one of ours, else the virtual interface.
+     */
+    Cycle belowAccess(Addr addr, Pc pc, AccessType type, Cycle now);
+
+    static bool
+    testBit(const std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        return (bits[i >> 6] >> (i & 63)) & 1u;
+    }
+    static void
+    setBit(std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+    static void
+    clearBit(std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
 
     CacheConfig cfg;
     std::uint32_t sets;
     unsigned blockBits;
     MemoryLevel *below;
+    /** Concrete view of `below` when it is a Cache / DramLevel. */
+    Cache *belowCache = nullptr;
+    DramLevel *belowDram = nullptr;
     std::unique_ptr<ReplacementPolicy> repl;
     std::unique_ptr<Prefetcher> prefetch;
-    std::vector<Line> linesArr;
+
+    /**
+     * SoA line state, indexed [set * numWays + way]. A tag is
+     * meaningful only while its valid bit is set.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> validBits_;
+    std::vector<std::uint64_t> dirtyBits_;
+    std::vector<std::uint64_t> prefetchedBits_;
+
+    HitUpdate hitUpdate_ = HitUpdate::Generic;
+    /** Concrete policy pointer backing the non-Generic fast paths. */
+    LruPolicy *lruFast_ = nullptr;
+    NruPolicy *nruFast_ = nullptr;
+    RripBase *rripFast_ = nullptr;
+
     CacheStats stats_;
     AccessHook accessHook;
     EventHook eventHook;
+    /** One-branch guard for the hook calls on the hot path. */
+    bool hooksArmed_ = false;
     std::vector<Addr> prefetchScratch;
 };
 
 /** Adapter presenting a DramModel as the bottom MemoryLevel. */
 class DramModel;
 
-class DramLevel : public MemoryLevel
+class DramLevel final : public MemoryLevel
 {
   public:
     explicit DramLevel(DramModel &dram);

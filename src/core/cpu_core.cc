@@ -38,7 +38,9 @@ CoreStats::exportMetrics(MetricsRegistry &metrics,
 }
 
 CpuCore::CpuCore(const CoreConfig &config, CacheHierarchy &hierarchy)
-    : cfg(config), hier(hierarchy), robRetire(config.robSize, 0)
+    : cfg(config), hier(hierarchy), robRetire(config.robSize, 0),
+      l1iHitLatency_(hierarchy.l1i().config().hitLatency),
+      l1dHitLatency_(hierarchy.l1d().config().hitLatency)
 {
     CS_ASSERT(cfg.robSize > 0, "ROB must have at least one entry");
     CS_ASSERT(cfg.dispatchWidth > 0, "dispatch width must be non-zero");
@@ -91,7 +93,7 @@ CpuCore::onInstruction(const TraceRecord &rec)
         const Pc block = rec.pc >> 6;
         if (block != lastFetchBlock) {
             const Cycle fetch_done = hier.fetch(rec.pc, dispatchCycle);
-            const Cycle hit_cost = hier.l1i().config().hitLatency;
+            const Cycle hit_cost = l1iHitLatency_;
             fetchReady = fetch_done > dispatchCycle + hit_cost
                 ? fetch_done : dispatchCycle;
             lastFetchBlock = block;
@@ -115,7 +117,7 @@ CpuCore::onInstruction(const TraceRecord &rec)
     // the miss waits for the earliest in-flight one to complete. Hits
     // are unaffected.
     Cycle done;
-    const Cycle l1d_hit = hier.l1d().config().hitLatency;
+    const Cycle l1d_hit = l1dHitLatency_;
     switch (rec.kind) {
       case InstKind::Load: {
         done = hier.load(rec.addr, rec.pc, dispatchCycle);

@@ -116,6 +116,10 @@ class CpuCore : public InstructionSink
     Pc lastFetchBlock = kInvalidAddr;
     Cycle fetchReady = 0;
 
+    /** Hit latencies cached at construction (config is immutable). */
+    Cycle l1iHitLatency_ = 0;
+    Cycle l1dHitLatency_ = 0;
+
     /**
      * Reserve an MSHR for a memory access issued at @p at, returning
      * the cycle the access may actually start (later than @p at when

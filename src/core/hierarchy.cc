@@ -35,24 +35,6 @@ CacheHierarchy::build(const HierarchyConfig &config,
     l1dCache = std::make_unique<Cache>(config.l1d, l2Cache.get());
 }
 
-Cycle
-CacheHierarchy::load(Addr addr, Pc pc, Cycle now)
-{
-    return l1dCache->access(addr, pc, AccessType::Load, now);
-}
-
-Cycle
-CacheHierarchy::store(Addr addr, Pc pc, Cycle now)
-{
-    return l1dCache->access(addr, pc, AccessType::Store, now);
-}
-
-Cycle
-CacheHierarchy::fetch(Pc pc, Cycle now)
-{
-    return l1iCache->access(pc, pc, AccessType::Load, now);
-}
-
 void
 CacheHierarchy::resetStats()
 {

@@ -39,14 +39,30 @@ class CacheHierarchy
     CacheHierarchy(const HierarchyConfig &config,
                    std::unique_ptr<ReplacementPolicy> llc_policy);
 
+    // The three core-facing entry points are inline direct calls:
+    // Cache is final, so these devirtualize and the whole fixed
+    // L1->L2->LLC->DRAM chain below them runs without a virtual hop.
+
     /** Data read issued by the core. @return data-ready cycle. */
-    Cycle load(Addr addr, Pc pc, Cycle now);
+    Cycle
+    load(Addr addr, Pc pc, Cycle now)
+    {
+        return l1dCache->access(addr, pc, AccessType::Load, now);
+    }
 
     /** Data write issued by the core. @return completion cycle. */
-    Cycle store(Addr addr, Pc pc, Cycle now);
+    Cycle
+    store(Addr addr, Pc pc, Cycle now)
+    {
+        return l1dCache->access(addr, pc, AccessType::Store, now);
+    }
 
     /** Instruction fetch. @return fetch-complete cycle. */
-    Cycle fetch(Pc pc, Cycle now);
+    Cycle
+    fetch(Pc pc, Cycle now)
+    {
+        return l1iCache->access(pc, pc, AccessType::Load, now);
+    }
 
     Cache &l1i() { return *l1iCache; }
     Cache &l1d() { return *l1dCache; }

@@ -36,6 +36,18 @@ class LruPolicy : public ReplacementPolicy
     /** Exposed for tests: current timestamp of (set, way). */
     std::uint64_t timestamp(std::uint32_t set, std::uint32_t way) const;
 
+    /**
+     * Non-virtual hit-path shortcut: identical to update(hit=true),
+     * which refreshes the line's recency stamp regardless of access
+     * type. Called directly by the cache's devirtualized fast path.
+     */
+    void
+    touchHit(std::uint32_t set, std::uint32_t way)
+    {
+        lastUse[static_cast<std::size_t>(set) * geom.numWays + way] =
+            ++clock;
+    }
+
   private:
     std::uint64_t clock = 0;
     std::vector<std::uint64_t> lastUse; // [set * ways + way]
@@ -85,6 +97,17 @@ class NruPolicy : public ReplacementPolicy
                              AccessType type) override;
     void update(std::uint32_t set, std::uint32_t way, Pc pc, Addr block_addr,
                 AccessType type, bool hit) override;
+
+    /**
+     * Non-virtual hit-path shortcut: identical to update(hit=true),
+     * which sets the line's reference bit. Called directly by the
+     * cache's devirtualized fast path.
+     */
+    void
+    markReferenced(std::uint32_t set, std::uint32_t way)
+    {
+        referenced[static_cast<std::size_t>(set) * geom.numWays + way] = 1;
+    }
 
   private:
     std::vector<std::uint8_t> referenced;

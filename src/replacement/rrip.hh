@@ -38,6 +38,18 @@ class RripBase : public ReplacementPolicy
     /** Exposed for tests. */
     std::uint8_t rrpvOf(std::uint32_t set, std::uint32_t way) const;
 
+    /**
+     * Non-virtual hit-path shortcut: identical to update(hit=true),
+     * which promotes the line to RRPV 0 (hit-priority) for every
+     * member of the RRIP family — none of them overrides update().
+     * Called directly by the cache's devirtualized fast path.
+     */
+    void
+    touchHit(std::uint32_t set, std::uint32_t way)
+    {
+        rrpvs[static_cast<std::size_t>(set) * geom.numWays + way] = 0;
+    }
+
   protected:
     /**
      * @return the RRPV a newly filled line should get.
