@@ -5,6 +5,7 @@
 
 #include "trace/trace_io.hh"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "util/failpoint.hh"
@@ -24,7 +25,8 @@ struct DiskRecord
     std::uint8_t pad[6];
 };
 
-static_assert(sizeof(DiskRecord) == 24, "trace record must pack to 24 B");
+static_assert(sizeof(DiskRecord) == TraceFileHeader::kRecordBytes,
+              "trace record must pack to 24 B");
 
 } // anonymous namespace
 
@@ -178,13 +180,14 @@ TraceReader::init(const std::string &file_path)
                                path.c_str());
     }
     if (header.version != TraceFileHeader::kVersionV1 &&
+        header.version != TraceFileHeader::kVersionV2 &&
         header.version != TraceFileHeader::kVersion) {
         return invalidArgumentError(
             "trace '%s' has unsupported version %u (this build reads "
-            "v1 and v2)",
+            "v1 through v3)",
             path.c_str(), header.version);
     }
-    if (header.version >= TraceFileHeader::kVersion) {
+    if (header.version >= TraceFileHeader::kVersionV2) {
         if (std::fread(&header.checksum, sizeof(header.checksum), 1,
                        file) != 1) {
             return corruptionError(
@@ -194,13 +197,207 @@ TraceReader::init(const std::string &file_path)
     } else {
         header.checksum = 0;
     }
+    // Large trace on a multicore host: hand fread + digest to a
+    // read-ahead thread so they overlap the consumer's simulation
+    // work instead of gating it. On a single CPU the thread can't
+    // overlap anything and only adds switch overhead, so small traces
+    // and unicore hosts take the synchronous path.
+    // CACHESCOPE_TRACE_PIPELINE=0/1 overrides the heuristic (tests use
+    // it to exercise the pipelined path on unicore CI).
+    bool pipeline = header.numRecords >= kPipelineMinRecords &&
+                    std::thread::hardware_concurrency() > 1;
+    if (const char *env = std::getenv("CACHESCOPE_TRACE_PIPELINE"))
+        pipeline = env[0] == '1';
+    if (pipeline) {
+        pipelined_ = true;
+        chunkPool_.resize(3);
+        for (Chunk &c : chunkPool_) {
+            c.bytes.resize(kBatchRecords * sizeof(DiskRecord));
+            freeChunks_.push_back(&c);
+        }
+        producer_ = std::thread(&TraceReader::producerLoop, this);
+    }
     return Status();
 }
 
 TraceReader::~TraceReader()
 {
+    if (producer_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            shuttingDown_ = true;
+        }
+        cvProducer_.notify_all();
+        producer_.join();
+    }
     if (file)
         std::fclose(file);
+}
+
+void
+TraceReader::digestUpdate(const void *data, std::size_t len)
+{
+    if (header.version >= TraceFileHeader::kVersion)
+        checksumX8_.update(data, len);
+    else
+        checksum.update(data, len);
+}
+
+std::uint64_t
+TraceReader::digestValue() const
+{
+    return header.version >= TraceFileHeader::kVersion
+        ? checksumX8_.digest()
+        : checksum.digest();
+}
+
+void
+TraceReader::producerLoop()
+{
+    const bool checksummed =
+        header.version >= TraceFileHeader::kVersionV2;
+    for (;;) {
+        Chunk *c = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvProducer_.wait(lk, [&] {
+                return shuttingDown_ || !freeChunks_.empty();
+            });
+            if (shuttingDown_)
+                return;
+            c = freeChunks_.front();
+            freeChunks_.pop_front();
+        }
+        const std::size_t got =
+            std::fread(c->bytes.data(), 1, c->bytes.size(), file);
+        c->readError = std::ferror(file) != 0;
+        c->stray = c->readError ? 0 : got % sizeof(DiskRecord);
+        c->len = c->readError ? 0 : got - c->stray;
+        if (checksummed && c->len != 0)
+            digestUpdate(c->bytes.data(), c->len);
+        // A short read on a regular file means EOF (or the error
+        // above): this chunk is the last.
+        const bool last = c->readError || got < c->bytes.size();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            readyChunks_.push_back(c);
+            if (last)
+                producerDone_ = true;
+        }
+        cvConsumer_.notify_one();
+        if (last)
+            return;
+    }
+}
+
+void
+TraceReader::finishStream(std::size_t stray, bool read_error)
+{
+    done = true;
+    if (read_error) {
+        status_ = ioError("read error in trace '%s' after %llu records",
+                          path.c_str(),
+                          static_cast<unsigned long long>(recordsRead_));
+    } else if (stray != 0) {
+        status_ = corruptionError(
+            "trace '%s' is truncated mid-record: expected %llu "
+            "records, found %llu complete records plus %zu stray "
+            "bytes",
+            path.c_str(),
+            static_cast<unsigned long long>(header.numRecords),
+            static_cast<unsigned long long>(recordsRead_), stray);
+    } else if (recordsRead_ != header.numRecords) {
+        status_ = corruptionError(
+            "trace '%s' record count mismatch: header expected %llu "
+            "records, file actually holds %llu",
+            path.c_str(),
+            static_cast<unsigned long long>(header.numRecords),
+            static_cast<unsigned long long>(recordsRead_));
+    } else if (header.version >= TraceFileHeader::kVersionV2 &&
+               digestValue() != header.checksum) {
+        status_ = corruptionError(
+            "trace '%s' checksum mismatch: header says %016llx, "
+            "records hash to %016llx (bit rot or concurrent write?)",
+            path.c_str(),
+            static_cast<unsigned long long>(header.checksum),
+            static_cast<unsigned long long>(digestValue()));
+    }
+}
+
+bool
+TraceReader::refill()
+{
+    return pipelined_ ? refillPipelined() : refillSync();
+}
+
+bool
+TraceReader::refillSync()
+{
+    if (buffer_.empty())
+        buffer_.resize(kBatchRecords * sizeof(DiskRecord));
+    bufPos_ = 0;
+    bufLen_ = 0;
+    const std::size_t got =
+        std::fread(buffer_.data(), 1, buffer_.size(), file);
+    if (std::ferror(file)) {
+        finishStream(0, /*read_error=*/true);
+        return false;
+    }
+    // A short read on a regular file means EOF: any non-multiple-of-24
+    // remainder is a torn final record. The complete records in front
+    // of it are still delivered; the truncation verdict is issued once
+    // they are consumed and the next refill comes up empty.
+    const std::size_t stray = got % sizeof(DiskRecord);
+    if (stray != 0)
+        stray_ = stray;
+    bufLen_ = got - stray;
+    if (bufLen_ != 0) {
+        if (header.version >= TraceFileHeader::kVersionV2)
+            digestUpdate(buffer_.data(), bufLen_);
+        bufData_ = buffer_.data();
+        return true;
+    }
+    finishStream(stray_, /*read_error=*/false);
+    return false;
+}
+
+bool
+TraceReader::refillPipelined()
+{
+    bufPos_ = 0;
+    bufLen_ = 0;
+    Chunk *c = nullptr;
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (current_) {
+            freeChunks_.push_back(current_);
+            current_ = nullptr;
+            cvProducer_.notify_one();
+        }
+        cvConsumer_.wait(lk, [&] {
+            return !readyChunks_.empty() || producerDone_;
+        });
+        if (readyChunks_.empty()) {
+            // Producer exited after an earlier (possibly torn) chunk:
+            // nothing more is coming. producerDone_ was observed under
+            // the mutex, so the digest is safe to read.
+            lk.unlock();
+            finishStream(stray_, /*read_error=*/false);
+            return false;
+        }
+        c = readyChunks_.front();
+        readyChunks_.pop_front();
+    }
+    if (c->len == 0) {
+        finishStream(c->stray != 0 ? c->stray : stray_, c->readError);
+        return false;
+    }
+    if (c->stray != 0)
+        stray_ = c->stray; // torn tail follows these complete records
+    current_ = c;
+    bufData_ = c->bytes.data();
+    bufLen_ = c->len;
+    return true;
 }
 
 bool
@@ -215,40 +412,10 @@ TraceReader::next(TraceRecord &rec)
             return false;
         }
     }
-    DiskRecord d;
-    const std::size_t got = std::fread(&d, 1, sizeof(d), file);
-    if (got != sizeof(d)) {
-        done = true;
-        if (std::ferror(file)) {
-            status_ = ioError("read error in trace '%s' after %llu records",
-                              path.c_str(),
-                              static_cast<unsigned long long>(recordsRead_));
-        } else if (got != 0) {
-            status_ = corruptionError(
-                "trace '%s' is truncated mid-record: expected %llu "
-                "records, found %llu complete records plus %zu stray "
-                "bytes",
-                path.c_str(),
-                static_cast<unsigned long long>(header.numRecords),
-                static_cast<unsigned long long>(recordsRead_), got);
-        } else if (recordsRead_ != header.numRecords) {
-            status_ = corruptionError(
-                "trace '%s' record count mismatch: header expected %llu "
-                "records, file actually holds %llu",
-                path.c_str(),
-                static_cast<unsigned long long>(header.numRecords),
-                static_cast<unsigned long long>(recordsRead_));
-        } else if (header.version >= TraceFileHeader::kVersion &&
-                   checksum.digest() != header.checksum) {
-            status_ = corruptionError(
-                "trace '%s' checksum mismatch: header says %016llx, "
-                "records hash to %016llx (bit rot or concurrent write?)",
-                path.c_str(),
-                static_cast<unsigned long long>(header.checksum),
-                static_cast<unsigned long long>(checksum.digest()));
-        }
+    if (bufPos_ == bufLen_ && !refill())
         return false;
-    }
+    DiskRecord d;
+    std::memcpy(&d, bufData_ + bufPos_, sizeof(d));
     if (d.kind > static_cast<std::uint8_t>(InstKind::Branch)) {
         done = true;
         status_ = corruptionError(
@@ -257,7 +424,7 @@ TraceReader::next(TraceRecord &rec)
             d.kind);
         return false;
     }
-    checksum.update(&d, sizeof(d));
+    bufPos_ += sizeof(d);
     ++recordsRead_;
     rec.pc = d.pc;
     rec.addr = d.addr;

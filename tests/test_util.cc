@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 #include <set>
 #include <vector>
@@ -296,6 +298,90 @@ TEST(Checksum64, ResetRestoresInitialState)
     sum.update("abc", 3);
     sum.reset();
     EXPECT_EQ(sum.digest(), 0xefd01f60ba992926ull);
+}
+
+// Known-answer and invariance tests for the 8-lane digest (trace
+// format v3). As with Checksum64, these constants are part of the
+// on-disk format: a change here must come with a version bump.
+
+TEST(Checksum64x8, KnownAnswerEmptyInput)
+{
+    Checksum64x8 sum;
+    EXPECT_EQ(sum.digest(), 0x52823c114e5da452ull);
+}
+
+TEST(Checksum64x8, KnownAnswerAbc)
+{
+    Checksum64x8 sum;
+    sum.update("abc", 3);
+    EXPECT_EQ(sum.digest(), 0xe136baff6a06284bull);
+}
+
+TEST(Checksum64x8, ChunkBoundariesDoNotMatter)
+{
+    // The stream is lane-assigned by absolute offset, so any split of
+    // the same bytes — including splits that leave a call mid-lane —
+    // must digest identically to one whole-buffer update.
+    std::vector<unsigned char> pattern(4096 + 13);
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = static_cast<unsigned char>((i * 131) & 0xff);
+    Checksum64x8 whole;
+    whole.update(pattern.data(), pattern.size());
+
+    for (std::size_t split : {std::size_t(1), std::size_t(3),
+                              std::size_t(8), std::size_t(24),
+                              std::size_t(4095)}) {
+        Checksum64x8 chunked;
+        std::size_t pos = 0;
+        while (pos < pattern.size()) {
+            const std::size_t n = std::min(split, pattern.size() - pos);
+            chunked.update(pattern.data() + pos, n);
+            pos += n;
+        }
+        EXPECT_EQ(chunked.digest(), whole.digest()) << "split=" << split;
+    }
+}
+
+TEST(Checksum64x8, SwappingBytesBetweenLanesChangesDigest)
+{
+    // Distinct lane seeds: moving a byte to a different lane position
+    // must not cancel out.
+    unsigned char a[16] = {1, 2, 3, 4, 5, 6, 7, 8,
+                           9, 10, 11, 12, 13, 14, 15, 16};
+    unsigned char b[16];
+    std::memcpy(b, a, sizeof(a));
+    std::swap(b[0], b[1]); // same multiset of bytes, different lanes
+    Checksum64x8 sa, sb;
+    sa.update(a, sizeof(a));
+    sb.update(b, sizeof(b));
+    EXPECT_NE(sa.digest(), sb.digest());
+}
+
+TEST(Checksum64x8, TrailingZeroBytesChangeDigest)
+{
+    Checksum64x8 a, b;
+    a.update("ab", 2);
+    b.update("ab\0", 3);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Checksum64x8, SingleBitFlipChangesDigest)
+{
+    std::vector<unsigned char> buf(24 * 100, 0xA5);
+    Checksum64x8 clean;
+    clean.update(buf.data(), buf.size());
+    buf[1234] ^= 0x10;
+    Checksum64x8 flipped;
+    flipped.update(buf.data(), buf.size());
+    EXPECT_NE(clean.digest(), flipped.digest());
+}
+
+TEST(Checksum64x8, ResetRestoresInitialState)
+{
+    Checksum64x8 sum;
+    sum.update("abc", 3);
+    sum.reset();
+    EXPECT_EQ(sum.digest(), 0x52823c114e5da452ull);
 }
 
 } // namespace
