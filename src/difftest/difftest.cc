@@ -185,8 +185,13 @@ stripNondeterministic(const MetricsRegistry &in)
     for (const auto &[path, value] : in.counters())
         out.setCounter(path, value);
     for (const auto &[path, value] : in.gauges()) {
-        if (path.size() >= 8 &&
-            path.compare(path.size() - 8, 8, ".wall_ms") == 0)
+        const auto ends_with = [&path](const char *suffix,
+                                       std::size_t n) {
+            return path.size() >= n &&
+                   path.compare(path.size() - n, n, suffix) == 0;
+        };
+        if (ends_with(".wall_ms", 8) || ends_with(".wall_seconds", 13) ||
+            ends_with(".throughput_mips", 16))
             continue;
         out.setGauge(path, value);
     }

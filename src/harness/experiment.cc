@@ -24,20 +24,51 @@
 
 namespace cachescope {
 
+namespace {
+
+/**
+ * Record how fast the simulator itself ran: sim.wall_seconds and
+ * sim.throughput_mips (instructions pushed through the pipeline,
+ * warmup included, per wall-clock second). steady_clock only, so the
+ * numbers survive clock adjustments mid-campaign. Both gauges are
+ * nondeterministic by nature and are stripped by the determinism
+ * tooling (difftest byte-identity, golden metric-tree tests).
+ */
+void
+setThroughputGauges(SimResult &result, InstCount instructions,
+                    std::chrono::steady_clock::time_point start)
+{
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    result.extraMetrics.setGauge("sim.wall_seconds", secs);
+    if (secs > 0.0) {
+        result.extraMetrics.setGauge(
+            "sim.throughput_mips",
+            static_cast<double>(instructions) / secs / 1e6);
+    }
+}
+
+} // anonymous namespace
+
 SimResult
 runOne(Workload &workload, const SimConfig &config)
 {
     SimConfig cfg = config;
     cfg.warmupInstructions =
         std::max(cfg.warmupInstructions, workload.warmupHint());
+    const auto start = std::chrono::steady_clock::now();
     Simulator sim(cfg);
     workload.run(sim);
-    return sim.result();
+    SimResult result = sim.result();
+    setThroughputGauges(result, sim.instructionsConsumed(), start);
+    return result;
 }
 
 SimResult
 runBelady(Workload &workload, const SimConfig &base_config)
 {
+    const auto start = std::chrono::steady_clock::now();
     SimConfig config = base_config;
     config.warmupInstructions =
         std::max(config.warmupInstructions, workload.warmupHint());
@@ -46,6 +77,7 @@ runBelady(Workload &workload, const SimConfig &base_config)
     // of the LLC policy (the levels above are fixed), so any policy
     // works for recording; use the configured one.
     auto stream = std::make_shared<std::vector<Addr>>();
+    InstCount pass1_instructions = 0;
     {
         Simulator sim(config);
         sim.hierarchy().llc().setAccessHook(
@@ -53,6 +85,7 @@ runBelady(Workload &workload, const SimConfig &base_config)
                 stream->push_back(block);
             });
         workload.run(sim);
+        pass1_instructions = sim.instructionsConsumed();
     }
 
     // Pass 2: replay against the recorded future.
@@ -64,6 +97,9 @@ runBelady(Workload &workload, const SimConfig &base_config)
     SimResult result = sim.result();
     result.llcPolicy = "belady";
     result.llcPolicyState.clear();
+    // Both passes count: the oracle's cost is real simulated work.
+    setThroughputGauges(
+        result, pass1_instructions + sim.instructionsConsumed(), start);
     return result;
 }
 
@@ -314,12 +350,18 @@ SuiteRunner::runChecked(const std::vector<std::shared_ptr<Workload>> &suite,
                     }
                 }
                 if (verbose_ && out.ok) {
+                    const auto &gauges = out.result.extraMetrics.gauges();
+                    const auto mips =
+                        gauges.find("sim.throughput_mips");
                     std::fprintf(stderr,
                                  "  [%zu/%zu] %-24s %-8s ipc=%.3f "
-                                 "llc_mpki=%.2f\n",
+                                 "llc_mpki=%.2f wall=%.2fs mips=%.1f\n",
                                  i + 1, cells.size(),
                                  out.workload.c_str(), out.policy.c_str(),
-                                 out.result.ipc(), out.result.mpkiLlc());
+                                 out.result.ipc(), out.result.mpkiLlc(),
+                                 out.wallMs / 1000.0,
+                                 mips == gauges.end() ? 0.0
+                                                      : mips->second);
                 } else if (verbose_) {
                     std::fprintf(stderr,
                                  "  [%zu/%zu] %-24s %-8s FAILED after "

@@ -264,6 +264,13 @@ cmdRun(const Args &args)
         std::printf("llc policy state: %s\n",
                     r.llcPolicyState.c_str());
     }
+    {
+        const auto &gauges = r.extraMetrics.gauges();
+        const auto mips = gauges.find("sim.throughput_mips");
+        std::printf("wall-clock: %.1f ms (%.1f simulated MIPS)\n",
+                    wall_ms,
+                    mips == gauges.end() ? 0.0 : mips->second);
+    }
     MetricsRegistry metrics;
     r.exportMetrics(metrics);
     return emitMetricsJson(
@@ -358,6 +365,30 @@ cmdSweep(const Args &args)
     for (std::size_t i = 1; i < policies.size(); ++i)
         table.addNumber(geomeanSpeedup(results, policies[i]), 4);
     table.printAscii(std::cout);
+
+    // Total wall-clock and aggregate simulated MIPS (instructions
+    // simulated in this process / sweep wall time; checkpoint-restored
+    // cells did their work in an earlier process and are excluded).
+    {
+        double instructions = 0.0;
+        std::size_t simulated = 0;
+        for (const auto &outcome : report.outcomes) {
+            if (!outcome.ok || outcome.fromCheckpoint)
+                continue;
+            const auto &gauges = outcome.result.extraMetrics.gauges();
+            const auto secs = gauges.find("sim.wall_seconds");
+            const auto mips = gauges.find("sim.throughput_mips");
+            if (secs == gauges.end() || mips == gauges.end())
+                continue;
+            instructions += mips->second * 1e6 * secs->second;
+            ++simulated;
+        }
+        std::printf("sweep wall-clock: %.1f s, %zu cell(s) simulated "
+                    "(aggregate %.1f simulated MIPS)\n",
+                    wall_ms / 1000.0, simulated,
+                    wall_ms > 0.0 ? instructions / (wall_ms * 1000.0)
+                                  : 0.0);
+    }
 
     if (int rc = emitMetricsJson(args, "sweep:" + args.get("suite", "gap"),
                                  wall_ms, report.metrics);
@@ -480,13 +511,21 @@ cmdReplay(const Args &args)
         return 1;
     }
     const double wall_ms = timer.elapsedMs();
-    std::fprintf(stderr, "replayed %llu records\n",
-                 static_cast<unsigned long long>(replayed));
+    const double mips = wall_ms > 0.0
+        ? static_cast<double>(sim.instructionsConsumed()) /
+          (wall_ms * 1000.0)
+        : 0.0;
+    std::fprintf(stderr, "replayed %llu records in %.2f s "
+                 "(%.1f simulated MIPS)\n",
+                 static_cast<unsigned long long>(replayed),
+                 wall_ms / 1000.0, mips);
     const SimResult r = sim.result();
     printSimResult(r, std::cout);
     MetricsRegistry metrics;
     r.exportMetrics(metrics);
     metrics.setCounter("replay.records", replayed);
+    metrics.setGauge("sim.wall_seconds", wall_ms / 1000.0);
+    metrics.setGauge("sim.throughput_mips", mips);
     return emitMetricsJson(args, "replay:" + args.get("policy", "lru"),
                            wall_ms, metrics);
 }

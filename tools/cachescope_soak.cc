@@ -318,10 +318,14 @@ MetricsRegistry
 stripNondeterministic(const MetricsRegistry &in)
 {
     auto is_wall = [](const std::string &path) {
-        static const std::string suffix = ".wall_ms";
-        return path.size() >= suffix.size() &&
-               path.compare(path.size() - suffix.size(), suffix.size(),
-                            suffix) == 0;
+        for (const char *suffix :
+             {".wall_ms", ".wall_seconds", ".throughput_mips"}) {
+            const std::size_t n = std::strlen(suffix);
+            if (path.size() >= n &&
+                path.compare(path.size() - n, n, suffix) == 0)
+                return true;
+        }
+        return false;
     };
     MetricsRegistry out;
     for (const auto &[path, value] : in.counters()) {

@@ -5,29 +5,107 @@
  * schema invariants the perf-trajectory tooling relies on (non-empty
  * name, non-negative finite wall_ms, at least one counter).
  *
- * usage: check_bench_json FILE [FILE ...]
- * exit codes: 0 all valid; 1 any invalid or unreadable.
+ * With --baseline it additionally compares one gauge (default
+ * sim.throughput_mips) against a committed baseline document and
+ * flags a drop beyond --tolerance-pct (default 10). --warn-only
+ * reports the regression but keeps the exit code 0 — the perf-smoke
+ * CI job uses that, since shared runners are noisy.
+ *
+ * usage: check_bench_json [--baseline FILE] [--gauge NAME]
+ *                         [--tolerance-pct N] [--warn-only]
+ *                         FILE [FILE ...]
+ * exit codes: 0 all valid (and within tolerance, or --warn-only);
+ *             1 any invalid, unreadable, or regressed.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "stats/metrics.hh"
 
 using namespace cachescope;
 
+namespace {
+
+/** @return the gauge's value, or NaN if the document lacks it. */
+double
+gaugeValue(const MetricsDocument &doc, const std::string &name)
+{
+    const auto &gauges = doc.metrics.gauges();
+    const auto it = gauges.find(name);
+    return it == gauges.end()
+        ? std::nan("")
+        : it->second;
+}
+
+} // anonymous namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s FILE [FILE ...]\n", argv[0]);
+    std::string baseline_path;
+    std::string gauge = "sim.throughput_mips";
+    double tolerance_pct = 10.0;
+    bool warn_only = false;
+    std::vector<const char *> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--baseline") == 0)
+            baseline_path = next();
+        else if (std::strcmp(arg, "--gauge") == 0)
+            gauge = next();
+        else if (std::strcmp(arg, "--tolerance-pct") == 0)
+            tolerance_pct = std::atof(next());
+        else if (std::strcmp(arg, "--warn-only") == 0)
+            warn_only = true;
+        else
+            files.push_back(arg);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--baseline FILE] [--gauge NAME] "
+                     "[--tolerance-pct N] [--warn-only] FILE "
+                     "[FILE ...]\n",
+                     argv[0]);
         return 1;
     }
-    int bad = 0;
-    for (int i = 1; i < argc; ++i) {
-        auto doc_or = readMetricsJsonFile(argv[i]);
+
+    double baseline_value = std::nan("");
+    if (!baseline_path.empty()) {
+        auto doc_or = readMetricsJsonFile(baseline_path);
         if (!doc_or.ok()) {
-            std::fprintf(stderr, "%s: %s\n", argv[i],
+            std::fprintf(stderr, "baseline %s: %s\n",
+                         baseline_path.c_str(),
+                         doc_or.status().message().c_str());
+            return 1;
+        }
+        baseline_value = gaugeValue(doc_or.value(), gauge);
+        if (!std::isfinite(baseline_value) || baseline_value <= 0.0) {
+            std::fprintf(stderr,
+                         "baseline %s: gauge '%s' missing or not a "
+                         "positive finite number\n",
+                         baseline_path.c_str(), gauge.c_str());
+            return 1;
+        }
+    }
+
+    int bad = 0;
+    for (const char *file : files) {
+        auto doc_or = readMetricsJsonFile(file);
+        if (!doc_or.ok()) {
+            std::fprintf(stderr, "%s: %s\n", file,
                          doc_or.status().message().c_str());
             ++bad;
             continue;
@@ -41,16 +119,40 @@ main(int argc, char **argv)
         else if (doc.metrics.counters().empty())
             problem = "no counters";
         if (problem != nullptr) {
-            std::fprintf(stderr, "%s: %s\n", argv[i], problem);
+            std::fprintf(stderr, "%s: %s\n", file, problem);
             ++bad;
             continue;
         }
         std::printf("%s: ok (name=%s, %zu counters, %zu gauges, "
                     "%zu histograms)\n",
-                    argv[i], doc.name.c_str(),
+                    file, doc.name.c_str(),
                     doc.metrics.counters().size(),
                     doc.metrics.gauges().size(),
                     doc.metrics.histograms().size());
+
+        if (!std::isfinite(baseline_value))
+            continue;
+        const double value = gaugeValue(doc, gauge);
+        if (!std::isfinite(value)) {
+            std::fprintf(stderr, "%s: gauge '%s' missing\n", file,
+                         gauge.c_str());
+            ++bad;
+            continue;
+        }
+        const double change_pct =
+            (value - baseline_value) / baseline_value * 100.0;
+        std::printf("%s: %s = %.2f vs baseline %.2f (%+.1f%%)\n", file,
+                    gauge.c_str(), value, baseline_value, change_pct);
+        if (change_pct < -tolerance_pct) {
+            std::fprintf(stderr,
+                         "%s: %s REGRESSION: %.2f is %.1f%% below "
+                         "baseline %.2f (tolerance %.0f%%)%s\n",
+                         file, gauge.c_str(), value, -change_pct,
+                         baseline_value, tolerance_pct,
+                         warn_only ? " [warn-only]" : "");
+            if (!warn_only)
+                ++bad;
+        }
     }
     return bad == 0 ? 0 : 1;
 }
