@@ -221,7 +221,57 @@ Cache::invalidateAll()
     std::fill(validBits_.begin(), validBits_.end(), 0);
     std::fill(dirtyBits_.begin(), dirtyBits_.end(), 0);
     std::fill(prefetchedBits_.begin(), prefetchedBits_.end(), 0);
-    stats_.reset();
+    std::fill(partTick_.begin(), partTick_.end(), 0);
+    resetStats();
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr block = addr >> blockBits;
+    const std::uint32_t set = static_cast<std::uint32_t>(block & (sets - 1));
+    const std::size_t base = static_cast<std::size_t>(set) * cfg.numWays;
+    for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
+        const std::size_t idx = base + w;
+        if (!testBit(validBits_, idx) || tags_[idx] != block)
+            continue;
+        tags_[idx] = kInvalidAddr;
+        clearBit(validBits_, idx);
+        clearBit(dirtyBits_, idx);
+        clearBit(prefetchedBits_, idx);
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::enableCoreAttribution(unsigned num_cores)
+{
+    CS_ASSERT(num_cores > 0, "attribution needs at least one core");
+    coreStats_.assign(num_cores, CacheStats{});
+    coreSlice_ = &coreStats_[0];
+}
+
+void
+Cache::setWayPartition(std::uint32_t ways_per_core)
+{
+    if (ways_per_core == 0) {
+        waysPerCore_ = 0;
+        partLo_ = 0;
+        partHi_ = 0;
+        return;
+    }
+    CS_ASSERT(!coreStats_.empty(),
+              "way partitioning requires core attribution");
+    CS_ASSERT(static_cast<std::uint64_t>(ways_per_core) *
+                      coreStats_.size() <=
+                  cfg.numWays,
+              "way partition exceeds the cache's associativity");
+    waysPerCore_ = ways_per_core;
+    partLo_ = 0;
+    partHi_ = ways_per_core;
+    if (partTick_.empty())
+        partTick_.assign(tags_.size(), 0);
 }
 
 Cycle
@@ -243,17 +293,27 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     for (std::uint32_t w = 0; w < cfg.numWays; ++w) {
         const std::size_t idx = base + w;
         if (!testBit(validBits_, idx)) {
-            if (first_invalid == ReplacementPolicy::kBypassWay)
+            // Under a way partition only the active core's window may
+            // be filled; the extra range check stays inside this branch
+            // because invalid ways are rare once the cache is warm.
+            if (first_invalid == ReplacementPolicy::kBypassWay &&
+                (partHi_ == 0 || (w >= partLo_ && w < partHi_)))
                 first_invalid = w;
             continue;
         }
         if (tags_[idx] == block) {
             ++stats_.hits[type_idx];
+            if (coreSlice_)
+                ++coreSlice_->hits[type_idx];
+            if (partHi_ != 0)
+                partTick_[idx] = ++partClock_;
             if (type == AccessType::Store || type == AccessType::Writeback)
                 setBit(dirtyBits_, idx);
             if (testBit(prefetchedBits_, idx) &&
                 type != AccessType::Prefetch) {
                 ++stats_.prefetchesUseful;
+                if (coreSlice_)
+                    ++coreSlice_->prefetchesUseful;
                 clearBit(prefetchedBits_, idx);
             }
             switch (hitUpdate_) {
@@ -283,6 +343,8 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     }
 
     ++stats_.misses[type_idx];
+    if (coreSlice_)
+        ++coreSlice_->misses[type_idx];
 
     // Fetch from below. Writebacks carry their own data and prefetches
     // of already-inflight lines are not modelled, so only demand types
@@ -296,11 +358,27 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     std::uint32_t victim_way = first_invalid;
     Addr victim_block = kInvalidAddr;
     if (victim_way == ReplacementPolicy::kBypassWay) {
-        victim_way = repl->findVictim(set, pc, block, type);
+        if (partHi_ != 0) {
+            // Partitioned: evict the least-recently-touched line in the
+            // active core's window. The policy keeps training below but
+            // does not choose victims and cannot bypass.
+            victim_way = partLo_;
+            std::uint64_t oldest = partTick_[base + partLo_];
+            for (std::uint32_t w = partLo_ + 1; w < partHi_; ++w) {
+                if (partTick_[base + w] < oldest) {
+                    oldest = partTick_[base + w];
+                    victim_way = w;
+                }
+            }
+        } else {
+            victim_way = repl->findVictim(set, pc, block, type);
+        }
         if (victim_way == ReplacementPolicy::kBypassWay) {
             // Policy elected to bypass: nothing is installed and the
             // policy is not updated for this access.
             ++stats_.bypasses;
+            if (coreSlice_)
+                ++coreSlice_->bypasses;
             if (hooksArmed_ && eventHook) {
                 eventHook({block, pc, type, set, 0, /*hit=*/false,
                            /*bypassed=*/true, kInvalidAddr});
@@ -313,8 +391,14 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
         victim_block = tags_[vidx];
         ++stats_.evictions;
         ++stats_.evictionsByFill[type_idx];
+        if (coreSlice_) {
+            ++coreSlice_->evictions;
+            ++coreSlice_->evictionsByFill[type_idx];
+        }
         if (testBit(dirtyBits_, vidx)) {
             ++stats_.writebacksIssued;
+            if (coreSlice_)
+                ++coreSlice_->writebacksIssued;
             // Off the critical path: latency result ignored.
             belowAccess(victim_block << blockBits, 0,
                         AccessType::Writeback, fill_done);
@@ -324,6 +408,8 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     const std::size_t idx = base + victim_way;
     tags_[idx] = block;
     setBit(validBits_, idx);
+    if (partHi_ != 0)
+        partTick_[idx] = ++partClock_;
     if (type == AccessType::Store || type == AccessType::Writeback)
         setBit(dirtyBits_, idx);
     else
@@ -364,6 +450,8 @@ Cache::issuePrefetches(Addr block, Pc pc, bool hit, Cycle now)
         if (contains(target << blockBits))
             continue;
         ++stats_.prefetchesIssued;
+        if (coreSlice_)
+            ++coreSlice_->prefetchesIssued;
         // Off the critical path; timing result ignored. The Prefetch
         // access type keeps this from re-triggering the prefetcher.
         access(target << blockBits, pc, AccessType::Prefetch, now);

@@ -172,7 +172,80 @@ class Cache final : public MemoryLevel
 
     /** Clear line state and statistics (not policy state). */
     void invalidateAll();
-    void resetStats() { stats_.reset(); }
+
+    /**
+     * Functional probe: invalidate the block holding @p addr if it is
+     * resident. Clears the valid/dirty/prefetched bits (no writeback is
+     * issued) and leaves replacement-policy metadata untouched, so the
+     * next fill to the set lands in the freed way via the invalid-way
+     * fast path. Used by tests to pin the fused-scan way choice.
+     * @return true iff the block was resident.
+     */
+    bool invalidate(Addr addr);
+
+    void
+    resetStats()
+    {
+        stats_.reset();
+        for (CacheStats &slice : coreStats_)
+            slice.reset();
+    }
+
+    // ---- multi-core co-run support ----------------------------------
+    //
+    // A shared LLC serving several cores attributes every statistic to
+    // the core that caused it: each counter site increments both the
+    // shared CacheStats and the active core's slice, so the slices sum
+    // exactly to the shared totals by construction. Single-core caches
+    // never enable this and pay one always-false branch per counter.
+
+    /**
+     * Allocate @p num_cores per-core statistics slices and start
+     * attributing to core 0. Call once, before any traffic.
+     */
+    void enableCoreAttribution(unsigned num_cores);
+
+    /**
+     * Attribute subsequent accesses (and their evictions, writebacks
+     * and prefetches) to @p core. The co-run arbiter calls this before
+     * stepping each core's simulator. No-op requirement: attribution
+     * must be enabled first.
+     */
+    void
+    setActiveCore(unsigned core)
+    {
+        coreSlice_ = &coreStats_[core];
+        if (waysPerCore_ != 0) {
+            partLo_ = core * waysPerCore_;
+            partHi_ = partLo_ + waysPerCore_;
+        }
+    }
+
+    /** The statistics slice attributed to @p core. */
+    const CacheStats &
+    coreStats(unsigned core) const
+    {
+        return coreStats_[core];
+    }
+
+    /** Number of per-core slices (0 when attribution is disabled). */
+    unsigned
+    attributedCores() const
+    {
+        return static_cast<unsigned>(coreStats_.size());
+    }
+
+    /**
+     * Statically partition the ways among the attributed cores: core c
+     * may only fill ways [c*K, (c+1)*K). Hits are still allowed in any
+     * way (lines are not migrated). Within its partition a core evicts
+     * the least-recently-touched line via a cache-maintained tick; the
+     * replacement policy is still trained on every access but no longer
+     * chooses victims, and it can no longer bypass. Ways beyond
+     * numCores*K are never filled. Requires enableCoreAttribution()
+     * first; K == 0 restores the shared (unpartitioned) mode.
+     */
+    void setWayPartition(std::uint32_t ways_per_core);
 
     /**
      * Hook invoked at the start of every demand (non-writeback) access
@@ -296,6 +369,23 @@ class Cache final : public MemoryLevel
     RripBase *rripFast_ = nullptr;
 
     CacheStats stats_;
+    /**
+     * Per-core attribution slices (empty when disabled). coreSlice_
+     * points at the active core's slice, or is null in single-core
+     * mode so every counter site pays exactly one predictable branch.
+     */
+    std::vector<CacheStats> coreStats_;
+    CacheStats *coreSlice_ = nullptr;
+    /** Static way partitioning (0 = shared). */
+    std::uint32_t waysPerCore_ = 0;
+    /** Active core's fill window [partLo_, partHi_); whole cache when
+     *  partHi_ == 0 (the unpartitioned common case). */
+    std::uint32_t partLo_ = 0;
+    std::uint32_t partHi_ = 0;
+    /** Per-line last-touch ticks backing within-partition LRU
+     *  eviction; allocated lazily by setWayPartition(). */
+    std::vector<std::uint64_t> partTick_;
+    std::uint64_t partClock_ = 0;
     AccessHook accessHook;
     EventHook eventHook;
     /** One-branch guard for the hook calls on the hot path. */

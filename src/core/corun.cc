@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Co-run driver implementation.
+ */
+
+#include "core/corun.hh"
+
+#include <algorithm>
+
+#include "stats/summary.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+namespace cachescope {
+
+Expected<std::unique_ptr<TraceFileStream>>
+TraceFileStream::open(const std::string &path)
+{
+    auto reader_or = TraceReader::open(path);
+    if (!reader_or.ok())
+        return reader_or.status();
+    auto stream = std::unique_ptr<TraceFileStream>(new TraceFileStream());
+    stream->reader_ = reader_or.take();
+    stream->name_ = path;
+    return stream;
+}
+
+bool
+TraceFileStream::next(TraceRecord &rec)
+{
+    return reader_->next(rec);
+}
+
+const Status &
+TraceFileStream::status() const
+{
+    return reader_->status();
+}
+
+Status
+CorunConfig::validate(std::size_t num_cores) const
+{
+    if (num_cores == 0)
+        return invalidArgumentError("corun needs at least one core");
+    CS_TRY(base.validate());
+    if (!coreWarmups.empty() && coreWarmups.size() != num_cores) {
+        return invalidArgumentError(
+            "corun: %zu warmup overrides for %zu cores",
+            coreWarmups.size(), num_cores);
+    }
+    if (llcWaysPerCore != 0 &&
+        static_cast<std::uint64_t>(llcWaysPerCore) * num_cores >
+            base.hierarchy.llc.numWays) {
+        return invalidArgumentError(
+            "corun: %u ways/core x %zu cores exceeds the LLC's "
+            "%u-way associativity",
+            llcWaysPerCore, num_cores, base.hierarchy.llc.numWays);
+    }
+    return Status();
+}
+
+double
+CorunResult::ipcSum() const
+{
+    double sum = 0.0;
+    for (const SimResult &core : cores)
+        sum += core.ipc();
+    return sum;
+}
+
+void
+CorunResult::exportMetrics(MetricsRegistry &metrics,
+                           const std::string &prefix) const
+{
+    // One core: emit exactly the single-core tree (documented contract;
+    // pinned by the corun-vs-run byte-identity test).
+    if (cores.size() == 1) {
+        cores[0].exportMetrics(metrics, prefix);
+        return;
+    }
+
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const SimResult &s = cores[i];
+        const CacheStats &slice = llcPerCore[i];
+        const std::string cp = p + "core" + std::to_string(i);
+        s.core.exportMetrics(metrics, cp + ".core");
+        s.l1i.exportMetrics(metrics, cp + ".l1i");
+        s.l1d.exportMetrics(metrics, cp + ".l1d");
+        s.l2.exportMetrics(metrics, cp + ".l2");
+        slice.exportMetrics(metrics, cp + ".llc");
+        metrics.setGauge(cp + ".derived.ipc", s.ipc());
+        metrics.setGauge(cp + ".derived.mpki_l1d", s.mpkiL1d());
+        metrics.setGauge(cp + ".derived.mpki_l2", s.mpkiL2());
+        metrics.setGauge(cp + ".derived.mpki_llc",
+                         mpki(slice.demandMisses(), s.core.instructions));
+        // Private dynamic metrics (l1*/l2 policy and prefetcher
+        // internals). The SimResult snapshots also carry the shared
+        // LLC's dynamic tree — identical in every core — which is
+        // exported once at the top level instead.
+        for (const auto &[path, value] : s.extraMetrics.counters()) {
+            if (path.rfind("llc.", 0) != 0)
+                metrics.setCounter(cp + "." + path, value);
+        }
+        for (const auto &[path, value] : s.extraMetrics.gauges()) {
+            if (path.rfind("llc.", 0) != 0)
+                metrics.setGauge(cp + "." + path, value);
+        }
+        for (const auto &[path, snap] : s.extraMetrics.histograms()) {
+            if (path.rfind("llc.", 0) != 0)
+                metrics.setHistogram(cp + "." + path, snap);
+        }
+    }
+    llc.exportMetrics(metrics, p + "llc");
+    dram.exportMetrics(metrics, p + "dram");
+    metrics.merge(extraMetrics, prefix);
+    metrics.setCounter(p + "corun.num_cores", cores.size());
+    metrics.setCounter(p + "corun.llc_ways_per_core", llcWaysPerCore);
+    metrics.setGauge(p + "corun.ipc_sum", ipcSum());
+}
+
+CorunSimulator::CorunSimulator(const CorunConfig &config,
+                               std::size_t num_cores)
+    : cfg(config)
+{
+    CS_ASSERT(num_cores > 0, "corun needs at least one core");
+    CS_ASSERT(cfg.coreWarmups.empty() ||
+                  cfg.coreWarmups.size() == num_cores,
+              "per-core warmups must match the core count");
+    dram_ = std::make_unique<DramModel>(cfg.base.hierarchy.dram);
+    dramLevel_ = std::make_unique<DramLevel>(*dram_);
+    llc_ = std::make_unique<Cache>(cfg.base.hierarchy.llc,
+                                   dramLevel_.get());
+    llc_->enableCoreAttribution(static_cast<unsigned>(num_cores));
+    if (cfg.llcWaysPerCore != 0)
+        llc_->setWayPartition(cfg.llcWaysPerCore);
+    sims_.reserve(num_cores);
+    for (std::size_t i = 0; i < num_cores; ++i) {
+        SimConfig per_core = cfg.base;
+        if (!cfg.coreWarmups.empty())
+            per_core.warmupInstructions = cfg.coreWarmups[i];
+        sims_.push_back(std::make_unique<Simulator>(per_core, llc_.get(),
+                                                    dram_.get()));
+    }
+}
+
+void
+CorunSimulator::run(const std::vector<CorunStream *> &streams)
+{
+    CS_ASSERT(streams.size() == sims_.size(), "one stream per core");
+    const std::size_t n = sims_.size();
+
+    // One prefetched record per core, so end-of-stream is known before
+    // the core is considered for arbitration.
+    std::vector<TraceRecord> pending(n);
+    std::vector<char> alive(n, 0);
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        CS_ASSERT(streams[i] != nullptr, "corun stream may not be null");
+        if (streams[i]->next(pending[i])) {
+            alive[i] = 1;
+            ++live;
+        }
+    }
+
+    bool shared_reset = false;
+    while (live > 0) {
+        // The all-cores-warm barrier. A core that has consumed its own
+        // warmup is *held* (not stepped) until every live core has;
+        // the shared levels then reset once and all cores release.
+        // Holding guarantees no core's measured traffic predates the
+        // reset, so each per-core attribution slice covers exactly
+        // that core's measurement window — and a fast tenant cannot
+        // burn its whole budget before a slow one warms up.
+        // inMeasurement() turns true on the exact call whose start
+        // would reset a single-core run's statistics, so resetting
+        // here (before stepping) keeps a 1-core co-run byte-identical
+        // to `run`. If every live stream ends before its warmup the
+        // shared statistics are never reset (matching single-core
+        // semantics for too-short streams).
+        if (!shared_reset) {
+            bool all_warm = true;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (alive[i] && !sims_[i]->inMeasurement()) {
+                    all_warm = false;
+                    break;
+                }
+            }
+            if (all_warm) {
+                llc_->resetStats();
+                dram_->resetStats();
+                shared_reset = true;
+            }
+        }
+
+        // Deterministic arbitration: the core whose retire clock is
+        // furthest behind goes next; ties break to the lowest core id
+        // (the scan visits cores in id order and takes strictly-older
+        // clocks only). Serial by construction — bit-reproducible and
+        // independent of any --jobs setting. Warm cores are skipped
+        // until the barrier opens; at least one live core is always
+        // steppable, because an all-warm live set opens the barrier
+        // above before arbitration runs.
+        std::size_t pick = n;
+        Cycle best = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!alive[i])
+                continue;
+            if (!shared_reset && sims_[i]->inMeasurement())
+                continue;
+            const Cycle c = sims_[i]->core().currentCycle();
+            if (pick == n || c < best) {
+                pick = i;
+                best = c;
+            }
+        }
+        CS_ASSERT(pick < n, "co-run arbiter found no steppable core");
+
+        llc_->setActiveCore(static_cast<unsigned>(pick));
+        TraceRecord rec = pending[pick];
+        if (cfg.tagStreams && pick != 0) {
+            const Addr tag = static_cast<Addr>(pick)
+                             << CorunConfig::kStreamTagShift;
+            rec.pc ^= tag;
+            if (rec.isMemory())
+                rec.addr ^= tag;
+        }
+        sims_[pick]->onInstruction(rec);
+
+        if (!sims_[pick]->wantsMore() ||
+            !streams[pick]->next(pending[pick])) {
+            alive[pick] = 0;
+            --live;
+        }
+    }
+}
+
+CorunResult
+CorunSimulator::result() const
+{
+    CorunResult r;
+    r.llcPolicy = cfg.base.hierarchy.llc.replacement;
+    r.llcPolicyState = llc_->policy().debugState();
+    r.llc = llc_->stats();
+    r.dram = dram_->stats();
+    r.llcWaysPerCore = cfg.llcWaysPerCore;
+    llc_->exportDynamicMetrics(r.extraMetrics, "llc");
+    for (std::size_t i = 0; i < sims_.size(); ++i) {
+        r.cores.push_back(sims_[i]->result());
+        r.llcPerCore.push_back(
+            llc_->coreStats(static_cast<unsigned>(i)));
+    }
+    return r;
+}
+
+} // namespace cachescope

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Multi-core co-run simulation: N private L1/L2 + ROB timing cores fed
+ * by independent instruction streams, sharing one LLC and one DRAM
+ * model — the setting where a cache-hostile graph kernel and a
+ * cache-friendly tenant contend for the replacement policy under study.
+ *
+ * Determinism contract: the arbiter is a single serial loop that always
+ * steps the core whose retire clock is furthest behind, breaking ties
+ * by the lowest core id. There is no thread scheduling anywhere in the
+ * co-run path, so a run is bit-reproducible across repeats and
+ * unaffected by any --jobs setting of an enclosing sweep.
+ *
+ * Statistics: the shared LLC attributes every counter to the core that
+ * caused it (Cache::enableCoreAttribution), so the per-core llc slices
+ * sum exactly to the shared totals by construction. Private-level stats
+ * reset per core at each core's own warmup boundary; the shared LLC,
+ * its slices and the DRAM model reset once, at the barrier where every
+ * core has entered its measurement window. A core that finishes its
+ * warmup early is held at that barrier — not stepped — until every
+ * live core has warmed, so no core's measured traffic predates the
+ * shared reset and every attribution slice covers exactly its core's
+ * measurement window.
+ */
+
+#ifndef CACHESCOPE_CORE_CORUN_HH
+#define CACHESCOPE_CORE_CORUN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hh"
+
+namespace cachescope {
+
+class TraceReader;
+
+/**
+ * One per-core instruction source (pull model). The arbiter owns the
+ * interleaving, so co-run inputs are pulled one record at a time
+ * instead of pushed like Workload::run().
+ */
+class CorunStream
+{
+  public:
+    virtual ~CorunStream() = default;
+
+    /** Pull the next record. @return false when the stream is dry. */
+    virtual bool next(TraceRecord &rec) = 0;
+
+    /** Display name of the tenant behind this stream. */
+    virtual const std::string &name() const = 0;
+};
+
+/** A stream over an in-memory record vector (captured workloads). */
+class VectorStream final : public CorunStream
+{
+  public:
+    VectorStream(std::string name, std::vector<TraceRecord> records)
+        : name_(std::move(name)), records_(std::move(records))
+    {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        rec = records_[pos_++];
+        return true;
+    }
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+/** A stream over a binary trace file (memory-light replay). */
+class TraceFileStream final : public CorunStream
+{
+  public:
+    /** Open @p path; errors surface as a Status, not a crash. */
+    static Expected<std::unique_ptr<TraceFileStream>>
+    open(const std::string &path);
+
+    bool next(TraceRecord &rec) override;
+    const std::string &name() const override { return name_; }
+
+    /** Non-OK once the reader hit truncation or corruption. */
+    const Status &status() const;
+
+  private:
+    TraceFileStream() = default;
+
+    std::string name_;
+    std::unique_ptr<TraceReader> reader_;
+};
+
+/** Configuration of an N-core co-run. */
+struct CorunConfig
+{
+    /**
+     * Per-core template: core model, private L1I/L1D/L2, the shared
+     * LLC geometry/policy and DRAM timing, warmup/measure windows and
+     * the cancellation token. Every core uses the same template; only
+     * the warmup may differ per core (coreWarmups).
+     */
+    SimConfig base;
+
+    /**
+     * Per-core warmup overrides (empty = base.warmupInstructions for
+     * every core; otherwise one entry per core). Lets workload tenants
+     * keep their individual warmupHint()-adjusted windows.
+     */
+    std::vector<InstCount> coreWarmups;
+
+    /**
+     * Static LLC way partitioning: core c may only fill ways
+     * [c*K, (c+1)*K). 0 = fully shared (the default). Used as the
+     * interference ablation: partitioned co-runs isolate capacity
+     * contention away, leaving only bandwidth coupling.
+     */
+    std::uint32_t llcWaysPerCore = 0;
+
+    /**
+     * Tag each core's PCs and memory addresses with the core id (XOR
+     * into bit kStreamTagShift and up) — multi-programmed semantics:
+     * tenants occupy disjoint address spaces and PC-indexed LLC
+     * policies (SHiP/Hawkeye/Glider/MPPPB) see per-core signatures.
+     * Core 0's tag is zero, so a 1-core co-run is bit-identical to a
+     * single-core run. Turning this off aliases identical tenants onto
+     * the same lines and PCs (shared-memory-like semantics).
+     */
+    bool tagStreams = true;
+
+    /** First address/PC bit the core-id tag is XORed into. Above every
+     *  set-index and DRAM-row bit the default configs use, so tagging
+     *  relabels tags/rows without skewing set distribution. */
+    static constexpr unsigned kStreamTagShift = 48;
+
+    /** Validate the template and the co-run shape for @p num_cores. */
+    Status validate(std::size_t num_cores) const;
+};
+
+/** Everything a finished co-run reports. */
+struct CorunResult
+{
+    std::string llcPolicy;
+    std::string llcPolicyState;
+    /**
+     * Per-core results. Private levels (core/l1i/l1d/l2 and their
+     * dynamic metrics) are truly per-core; the llc/dram fields hold the
+     * *shared* end-of-run snapshots (which is what makes a 1-core
+     * co-run's export byte-identical to a single-core run's).
+     */
+    std::vector<SimResult> cores;
+    /** Shared-LLC statistics attributed per core; sums to `llc`. */
+    std::vector<CacheStats> llcPerCore;
+    CacheStats llc;
+    DramStats dram;
+    /** Shared-LLC policy/prefetcher internals ("llc.policy.*"). */
+    MetricsRegistry extraMetrics;
+    std::uint32_t llcWaysPerCore = 0;
+
+    /** Sum of per-core IPCs (the raw throughput summary). */
+    double ipcSum() const;
+
+    /**
+     * Export the co-run metric tree under "<prefix>.".
+     *
+     * With one core this emits exactly the single-core SimResult tree
+     * (no core0 prefix, no corun.* summary) so downstream tooling and
+     * baselines see no difference between `run` and a 1-core `corun`.
+     * With N >= 2 cores: "core<i>.{core,l1i,l1d,l2}.*" private levels,
+     * "core<i>.llc.*" attribution slices, "core<i>.derived.*" per-core
+     * gauges, the shared "llc.*"/"dram.*" trees, and "corun.*" summary
+     * metrics (num_cores, llc_ways_per_core, ipc_sum).
+     */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix = "") const;
+};
+
+/**
+ * Owns the shared LLC + DRAM and one Simulator per core, and runs the
+ * deterministic cycle-interleaved arbiter over N streams.
+ */
+class CorunSimulator
+{
+  public:
+    CorunSimulator(const CorunConfig &config, std::size_t num_cores);
+
+    /**
+     * Drive all @p streams to completion: each core stops when its
+     * stream dries up or its measurement budget is exhausted. One
+     * stream per core, in core order. Throws CancelledError if the
+     * config's cancellation token fires mid-run.
+     */
+    void run(const std::vector<CorunStream *> &streams);
+
+    /** Snapshot the finished co-run. */
+    CorunResult result() const;
+
+    Simulator &core(std::size_t i) { return *sims_[i]; }
+    std::size_t numCores() const { return sims_.size(); }
+    Cache &llc() { return *llc_; }
+    DramModel &dram() { return *dram_; }
+
+  private:
+    CorunConfig cfg;
+    std::unique_ptr<DramModel> dram_;
+    std::unique_ptr<DramLevel> dramLevel_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<std::unique_ptr<Simulator>> sims_;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_CORE_CORUN_HH

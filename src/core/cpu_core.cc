@@ -113,31 +113,34 @@ CpuCore::onInstruction(const TraceRecord &rec)
     ++dispatched;
 
     // --- Execute -------------------------------------------------------
-    // Memory ops that miss occupy an L1D MSHR; when all MSHRs are busy
-    // the miss waits for the earliest in-flight one to complete. Hits
-    // are unaffected.
+    // Memory ops are admitted to the memory unit before they touch the
+    // hierarchy: when all MSHRs are busy, the access waits for the
+    // earliest in-flight miss and is *issued* at that later cycle.
+    // Gating issue (not just completion) caps the core's run-ahead into
+    // the shared levels at maxOutstandingMisses accesses — without it a
+    // miss storm stamps up to robSize accesses into the DRAM bank
+    // queues at once, pushing the bank-ready frontier thousands of
+    // cycles past the retire clock. A co-run partner then pays that
+    // whole frontier on its first access to the same bank, which is how
+    // one core starves the other.
     Cycle done;
     const Cycle l1d_hit = l1dHitLatency_;
     switch (rec.kind) {
       case InstKind::Load: {
-        done = hier.load(rec.addr, rec.pc, dispatchCycle);
-        if (done > dispatchCycle + l1d_hit) {
-            const Cycle start = acquireMshr(dispatchCycle);
-            done += start - dispatchCycle;
+        const Cycle start = acquireMshr(dispatchCycle);
+        done = hier.load(rec.addr, rec.pc, start);
+        if (done > start + l1d_hit)
             completeMshr(done);
-        }
         ++stats_.loads;
         break;
       }
       case InstKind::Store: {
         // Store buffer: the access updates cache/DRAM state and, on a
         // miss, occupies an MSHR, but retirement does not wait for it.
-        const Cycle store_done =
-            hier.store(rec.addr, rec.pc, dispatchCycle);
-        if (store_done > dispatchCycle + l1d_hit) {
-            const Cycle start = acquireMshr(dispatchCycle);
-            completeMshr(store_done + (start - dispatchCycle));
-        }
+        const Cycle start = acquireMshr(dispatchCycle);
+        const Cycle store_done = hier.store(rec.addr, rec.pc, start);
+        if (store_done > start + l1d_hit)
+            completeMshr(store_done);
         done = dispatchCycle + 1;
         ++stats_.stores;
         break;

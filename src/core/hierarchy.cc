@@ -5,6 +5,8 @@
 
 #include "core/hierarchy.hh"
 
+#include "util/logging.hh"
+
 namespace cachescope {
 
 CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
@@ -16,6 +18,18 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
                                std::unique_ptr<ReplacementPolicy> llc_policy)
 {
     build(config, std::move(llc_policy));
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               Cache *shared_llc, DramModel *shared_dram)
+{
+    CS_ASSERT(shared_llc != nullptr && shared_dram != nullptr,
+              "shared hierarchy needs an LLC and a DRAM model");
+    llcView = shared_llc;
+    dramView = shared_dram;
+    l2Cache = std::make_unique<Cache>(config.l2, shared_llc);
+    l1iCache = std::make_unique<Cache>(config.l1i, l2Cache.get());
+    l1dCache = std::make_unique<Cache>(config.l1d, l2Cache.get());
 }
 
 void
@@ -33,6 +47,8 @@ CacheHierarchy::build(const HierarchyConfig &config,
     l2Cache = std::make_unique<Cache>(config.l2, llcCache.get());
     l1iCache = std::make_unique<Cache>(config.l1i, l2Cache.get());
     l1dCache = std::make_unique<Cache>(config.l1d, l2Cache.get());
+    llcView = llcCache.get();
+    dramView = dramModel.get();
 }
 
 void
@@ -41,8 +57,10 @@ CacheHierarchy::resetStats()
     l1iCache->resetStats();
     l1dCache->resetStats();
     l2Cache->resetStats();
-    llcCache->resetStats();
-    dramModel->resetStats();
+    if (llcCache)
+        llcCache->resetStats();
+    if (dramModel)
+        dramModel->resetStats();
 }
 
 } // namespace cachescope

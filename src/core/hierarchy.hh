@@ -39,6 +39,17 @@ class CacheHierarchy
     CacheHierarchy(const HierarchyConfig &config,
                    std::unique_ptr<ReplacementPolicy> llc_policy);
 
+    /**
+     * Build only this core's private levels (L1I/L1D/L2) over an LLC
+     * and DRAM owned elsewhere — the multi-core co-run arrangement,
+     * where N private hierarchies share one LLC. Neither pointer is
+     * owned; both must outlive this hierarchy. resetStats() resets the
+     * private levels only (the co-run driver resets the shared ones at
+     * its own warmup barrier).
+     */
+    CacheHierarchy(const HierarchyConfig &config, Cache *shared_llc,
+                   DramModel *shared_dram);
+
     // The three core-facing entry points are inline direct calls:
     // Cache is final, so these devirtualize and the whole fixed
     // L1->L2->LLC->DRAM chain below them runs without a virtual hop.
@@ -67,15 +78,23 @@ class CacheHierarchy
     Cache &l1i() { return *l1iCache; }
     Cache &l1d() { return *l1dCache; }
     Cache &l2() { return *l2Cache; }
-    Cache &llc() { return *llcCache; }
-    DramModel &dram() { return *dramModel; }
+    Cache &llc() { return *llcView; }
+    DramModel &dram() { return *dramView; }
     const Cache &l1i() const { return *l1iCache; }
     const Cache &l1d() const { return *l1dCache; }
     const Cache &l2() const { return *l2Cache; }
-    const Cache &llc() const { return *llcCache; }
-    const DramModel &dram() const { return *dramModel; }
+    const Cache &llc() const { return *llcView; }
+    const DramModel &dram() const { return *dramView; }
 
-    /** Reset statistics on every level (state is preserved). */
+    /** @return true when the LLC and DRAM belong to this hierarchy. */
+    bool ownsSharedLevels() const { return llcCache != nullptr; }
+
+    /**
+     * Reset statistics on every owned level (state is preserved). In
+     * the shared-LLC arrangement the LLC and DRAM are skipped — they
+     * aggregate traffic from every core, so only their owner (the
+     * co-run driver) may reset them.
+     */
     void resetStats();
 
   private:
@@ -88,6 +107,9 @@ class CacheHierarchy
     std::unique_ptr<Cache> l2Cache;
     std::unique_ptr<Cache> l1iCache;
     std::unique_ptr<Cache> l1dCache;
+    /** The LLC/DRAM this hierarchy uses: owned above, or shared. */
+    Cache *llcView = nullptr;
+    DramModel *dramView = nullptr;
 };
 
 } // namespace cachescope

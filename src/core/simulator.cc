@@ -78,6 +78,12 @@ Simulator::Simulator(const SimConfig &config,
       cpu(config.core, hier)
 {}
 
+Simulator::Simulator(const SimConfig &config, Cache *shared_llc,
+                     DramModel *shared_dram)
+    : cfg(config), hier(config.hierarchy, shared_llc, shared_dram),
+      cpu(config.core, hier)
+{}
+
 void
 Simulator::onInstruction(const TraceRecord &rec)
 {

@@ -105,6 +105,16 @@ class Simulator : public InstructionSink
     Simulator(const SimConfig &config,
               std::unique_ptr<ReplacementPolicy> llc_policy);
 
+    /**
+     * Construct one core of a multi-core co-run: private L1/L2 over an
+     * LLC and DRAM owned by the co-run driver (neither pointer owned;
+     * config.hierarchy.llc/.dram are ignored). The warmup reset then
+     * covers the private levels only — the driver resets the shared
+     * ones at its all-cores-warm barrier.
+     */
+    Simulator(const SimConfig &config, Cache *shared_llc,
+              DramModel *shared_dram);
+
     void onInstruction(const TraceRecord &rec) override;
     bool wantsMore() const override { return !budgetExhausted; }
 

@@ -41,12 +41,17 @@ setThroughputGauges(SimResult &result, InstCount instructions,
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
+    // A tiny trace can finish inside the clock's resolution, making
+    // `secs` zero (or denormal-small, where the division overflows to
+    // inf). Clamp the divisor so the gauge is always present and
+    // finite: an absent or non-finite value poisons BENCH JSON
+    // baseline comparisons downstream (check_bench_json rejects both).
+    constexpr double kMinSeconds = 1e-9;
+    const double divisor = secs > kMinSeconds ? secs : kMinSeconds;
     result.extraMetrics.setGauge("sim.wall_seconds", secs);
-    if (secs > 0.0) {
-        result.extraMetrics.setGauge(
-            "sim.throughput_mips",
-            static_cast<double>(instructions) / secs / 1e6);
-    }
+    result.extraMetrics.setGauge(
+        "sim.throughput_mips",
+        static_cast<double>(instructions) / divisor / 1e6);
 }
 
 } // anonymous namespace

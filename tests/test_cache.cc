@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/cache.hh"
+#include "replacement/replacement_policy.hh"
 #include "test_helpers.hh"
 
 namespace cachescope {
@@ -195,6 +196,40 @@ TEST(CacheVictim, PolicyChoosesAmongFullSet)
     cache.access(4 * 256, 1, AccessType::Load, 0);
     EXPECT_FALSE(cache.contains(2 * 256)); // way 2 held block 2
     EXPECT_TRUE(cache.contains(4 * 256));
+}
+
+TEST(CacheInvalidate, RefillReusesTheInvalidatedWayUnderEveryPolicy)
+{
+    // After invalidating one way of a full set, the next fill must
+    // take exactly that way — the invalid-way scan runs before the
+    // policy, so no sealed policy may evict a valid line or bypass
+    // while the set has a hole.
+    for (const std::string &name :
+         ReplacementPolicyFactory::availablePolicies()) {
+        RecordingLevel below(50);
+        // 1024 B / 4 ways -> 4 sets; stride 256 B stays in set 0.
+        const CacheConfig cfg =
+            smallCacheConfig("I", 1024, 4, 1, name.c_str());
+        Cache cache(cfg, &below);
+
+        for (int i = 0; i < 4; ++i) {
+            cache.access(static_cast<Addr>(i) * 256, 1,
+                         AccessType::Load, 0);
+        }
+        ASSERT_TRUE(cache.invalidate(1 * 256)) << name;
+        EXPECT_FALSE(cache.contains(1 * 256)) << name;
+        const std::uint64_t evictions_before = cache.stats().evictions;
+
+        cache.access(4 * 256, 1, AccessType::Load, 0);
+        EXPECT_TRUE(cache.contains(4 * 256)) << name;
+        // The three surviving lines were never candidates.
+        EXPECT_TRUE(cache.contains(0 * 256)) << name;
+        EXPECT_TRUE(cache.contains(2 * 256)) << name;
+        EXPECT_TRUE(cache.contains(3 * 256)) << name;
+        // Filling a hole is not an eviction (and not a bypass).
+        EXPECT_EQ(cache.stats().evictions, evictions_before) << name;
+        EXPECT_EQ(cache.stats().bypasses, 0u) << name;
+    }
 }
 
 TEST(CacheTiming, LatencyComposesThroughLevels)

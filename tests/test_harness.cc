@@ -91,6 +91,27 @@ TEST(Harness, RunOneProducesMeasuredWindow)
     EXPECT_EQ(r.llcPolicy, "lru");
 }
 
+TEST(Harness, ThroughputGaugesAreAlwaysPresentAndFinite)
+{
+    // A tiny run can finish inside the steady_clock's resolution;
+    // the throughput gauge must still come out finite (the divisor is
+    // clamped), or BENCH JSON baseline comparisons poison downstream.
+    MiniWorkload w;
+    SimConfig cfg = testConfig();
+    cfg.warmupInstructions = 0;
+    cfg.measureInstructions = 100;
+    const SimResult r = runOne(w, cfg);
+    const auto &gauges = r.extraMetrics.gauges();
+    const auto secs = gauges.find("sim.wall_seconds");
+    ASSERT_NE(secs, gauges.end());
+    EXPECT_TRUE(std::isfinite(secs->second));
+    EXPECT_GE(secs->second, 0.0);
+    const auto mips = gauges.find("sim.throughput_mips");
+    ASSERT_NE(mips, gauges.end());
+    EXPECT_TRUE(std::isfinite(mips->second));
+    EXPECT_GT(mips->second, 0.0);
+}
+
 TEST(Harness, BeladyBeatsEveryOnlinePolicyOnLlcMisses)
 {
     MiniWorkload w;

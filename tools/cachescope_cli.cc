@@ -32,12 +32,16 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/cascade_lake.hh"
 #include "harness/checkpoint.hh"
+#include "harness/corun.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/workload_zoo.hh"
 #include "stats/metrics.hh"
+#include "stats/summary.hh"
 #include "stats/table.hh"
 #include "trace/trace_io.hh"
 #include "util/cancel.hh"
@@ -192,6 +196,25 @@ emitMetricsJson(const Args &args, const std::string &name, double wall_ms,
     }
     std::fprintf(stderr, "metrics written to %s\n", path.c_str());
     return 0;
+}
+
+/** Split a comma-separated list, dropping empty items. */
+std::vector<std::string>
+splitCsv(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > pos)
+            items.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return items;
 }
 
 ZooOptions
@@ -433,6 +456,96 @@ cmdSweep(const Args &args)
 }
 
 int
+cmdCorun(const Args &args)
+{
+    const std::string spec = args.get("cores", "");
+    if (spec.empty()) {
+        std::fprintf(stderr,
+                     "error: corun needs --cores t1,t2,... (zoo "
+                     "workload names or trace paths, one per core)\n");
+        return 1;
+    }
+    const std::vector<std::string> names = splitCsv(spec);
+
+    // Each --cores item is a zoo workload if the zoo knows the name,
+    // otherwise a trace file path.
+    const std::vector<std::string> &zoo = zooWorkloadNames();
+    std::vector<CorunTenant> tenants;
+    for (const std::string &name : names) {
+        if (std::find(zoo.begin(), zoo.end(), name) != zoo.end()) {
+            auto workload_or =
+                tryMakeNamedWorkload(name, zooOptionsFrom(args));
+            if (!workload_or.ok()) {
+                std::fprintf(stderr, "error: %s\n",
+                             workload_or.status().message().c_str());
+                return 1;
+            }
+            tenants.push_back(
+                CorunTenant::fromWorkload(workload_or.take()));
+        } else {
+            tenants.push_back(CorunTenant::fromTrace(name));
+        }
+    }
+
+    const std::string policy = args.get("policy", "lru");
+    CorunRunOptions options;
+    options.config.base = configFrom(args, policy);
+    options.config.llcWaysPerCore =
+        static_cast<std::uint32_t>(args.getU64("llc-ways-per-core", 0));
+    options.config.tagStreams = !args.has("no-tag");
+    options.soloBaselines = args.has("baselines");
+
+    std::fprintf(stderr, "co-running %zu tenant(s) under %s...\n",
+                 tenants.size(), policy.c_str());
+    const WallTimer timer;
+    auto report_or = runCorun(tenants, options);
+    if (!report_or.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     report_or.status().message().c_str());
+        return 1;
+    }
+    const CorunReport report = report_or.take();
+    const double wall_ms = timer.elapsedMs();
+
+    std::vector<std::string> columns = {"core", "tenant", "instructions",
+                                        "ipc", "llc_mpki"};
+    if (options.soloBaselines)
+        columns.push_back("vs_solo");
+    Table table(columns);
+    for (std::size_t i = 0; i < report.result.cores.size(); ++i) {
+        const SimResult &core = report.result.cores[i];
+        table.newRow();
+        table.addCell(std::to_string(i));
+        table.addCell(report.tenantNames[i]);
+        table.addCell(std::to_string(core.core.instructions));
+        table.addNumber(core.ipc(), 3);
+        table.addNumber(mpki(report.result.llcPerCore[i].demandMisses(),
+                             core.core.instructions),
+                        2);
+        if (options.soloBaselines) {
+            const double solo = report.soloIpc[i];
+            if (solo > 0.0)
+                table.addNumber(core.ipc() / solo, 4);
+            else
+                table.addCell("-");
+        }
+    }
+    table.printAscii(std::cout);
+
+    std::printf("aggregate ipc: %.3f\n", report.result.ipcSum());
+    if (options.soloBaselines && report.result.cores.size() >= 2) {
+        std::printf("weighted speedup: %.3f  fairness: %.3f\n",
+                    report.weightedSpeedup, report.fairness);
+    }
+    std::printf("wall-clock: %.1f ms (%.1f simulated MIPS)\n", wall_ms,
+                report.throughputMips);
+
+    MetricsRegistry metrics;
+    report.exportMetrics(metrics);
+    return emitMetricsJson(args, "corun:" + policy, wall_ms, metrics);
+}
+
+int
 cmdCapture(const Args &args)
 {
     const std::string path = args.get("out", "cachescope.trace");
@@ -540,6 +653,9 @@ usage()
         "  policies                         list policies/workloads\n"
         "  run     --workload W --policy P  simulate one workload\n"
         "  sweep   --suite S --policies a,b workload x policy grid\n"
+        "  corun   --cores t1,t2,...        co-run tenants over one\n"
+        "                                   shared LLC (each item is a\n"
+        "                                   workload name or trace path)\n"
         "  capture --workload W --out FILE  record a binary trace\n"
         "  replay  --trace FILE --policy P  simulate from a trace\n"
         "\n"
@@ -548,6 +664,12 @@ usage()
         "              --prefetcher none|next_line|stride|streamer\n"
         "              --metrics-json FILE (run/sweep/replay: dump the\n"
         "               full counter tree as cachescope-metrics-v1)\n"
+        "corun flags:  --llc-ways-per-core K (static way partition:\n"
+        "               core c fills ways [c*K,(c+1)*K); 0 = shared)\n"
+        "              --baselines (also run each tenant alone and\n"
+        "               report weighted speedup and fairness)\n"
+        "              --no-tag (do not tag per-core address spaces;\n"
+        "               identical tenants then share lines and PCs)\n"
         "sweep flags:  --jobs N --retries N --checkpoint FILE\n"
         "              (--checkpoint resumes an interrupted sweep,\n"
         "               skipping cells the journal says are complete)\n"
@@ -598,6 +720,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "corun")
+        return cmdCorun(args);
     if (cmd == "capture")
         return cmdCapture(args);
     if (cmd == "replay")

@@ -5,6 +5,13 @@
  * schema invariants the perf-trajectory tooling relies on (non-empty
  * name, non-negative finite wall_ms, at least one counter).
  *
+ * Beyond the envelope, two content invariants are enforced on every
+ * document: no gauge anywhere may be non-finite (an inf/nan gauge
+ * means a divide-by-zero escaped the simulator), and co-run documents
+ * (any subtree carrying a "corun.num_cores" counter) must export one
+ * "core<i>." subtree per core whose per-core LLC attribution counters
+ * sum exactly to the shared "llc." totals.
+ *
  * With --baseline it additionally compares one gauge (default
  * sim.throughput_mips) against a committed baseline document and
  * flags a drop beyond --tolerance-pct (default 10). --warn-only
@@ -40,6 +47,77 @@ gaugeValue(const MetricsDocument &doc, const std::string &name)
     return it == gauges.end()
         ? std::nan("")
         : it->second;
+}
+
+/**
+ * @return a description of every schema violation in @p doc beyond the
+ * basic envelope (empty when the document is clean): non-finite
+ * gauges, and co-run trees whose per-core subtrees are missing or
+ * whose LLC attribution slices fail to sum to the shared totals.
+ */
+std::string
+contentProblems(const MetricsDocument &doc)
+{
+    std::string problems;
+    auto complain = [&problems](const std::string &what) {
+        if (!problems.empty())
+            problems += "; ";
+        problems += what;
+    };
+
+    for (const auto &[path, value] : doc.metrics.gauges()) {
+        if (!std::isfinite(value))
+            complain("gauge '" + path + "' is not finite");
+    }
+
+    // Every "corun.num_cores" counter marks one co-run tree rooted at
+    // its prefix; validate that tree's per-core schema.
+    const auto &counters = doc.metrics.counters();
+    const std::string marker = "corun.num_cores";
+    for (const auto &[path, num_cores] : counters) {
+        if (path.size() < marker.size() ||
+            path.compare(path.size() - marker.size(), marker.size(),
+                         marker) != 0) {
+            continue;
+        }
+        const std::string prefix =
+            path.substr(0, path.size() - marker.size());
+        for (std::uint64_t i = 0; i < num_cores; ++i) {
+            const std::string want =
+                prefix + "core" + std::to_string(i) +
+                ".core.instructions";
+            if (counters.find(want) == counters.end())
+                complain("co-run tree '" + prefix +
+                         "' lacks counter '" + want + "'");
+        }
+        // The per-core LLC slices must sum exactly to the shared
+        // totals (policy/prefetcher internals are shared-only and
+        // exported once, so they are exempt).
+        const std::string shared = prefix + "llc.";
+        for (const auto &[spath, svalue] : counters) {
+            if (spath.rfind(shared, 0) != 0)
+                continue;
+            const std::string tail = spath.substr(prefix.size());
+            if (tail.find(".policy.") != std::string::npos ||
+                tail.find(".prefetcher.") != std::string::npos) {
+                continue;
+            }
+            std::uint64_t sum = 0;
+            for (std::uint64_t i = 0; i < num_cores; ++i) {
+                const auto it = counters.find(
+                    prefix + "core" + std::to_string(i) + "." + tail);
+                if (it != counters.end())
+                    sum += it->second;
+            }
+            if (sum != svalue) {
+                complain("co-run counter '" + spath +
+                         "': per-core slices sum to " +
+                         std::to_string(sum) + ", shared total is " +
+                         std::to_string(svalue));
+            }
+        }
+    }
+    return problems;
 }
 
 } // anonymous namespace
@@ -120,6 +198,12 @@ main(int argc, char **argv)
             problem = "no counters";
         if (problem != nullptr) {
             std::fprintf(stderr, "%s: %s\n", file, problem);
+            ++bad;
+            continue;
+        }
+        if (const std::string content = contentProblems(doc);
+            !content.empty()) {
+            std::fprintf(stderr, "%s: %s\n", file, content.c_str());
             ++bad;
             continue;
         }
