@@ -73,9 +73,23 @@ CorunResult::exportMetrics(MetricsRegistry &metrics,
                            const std::string &prefix) const
 {
     // One core: emit exactly the single-core tree (documented contract;
-    // pinned by the corun-vs-run byte-identity test).
+    // pinned by the corun-vs-run byte-identity test). The profile.*
+    // subtree lives in the driver's extraMetrics — the core's own
+    // snapshot has none, since a co-run core never owns the LLC — so
+    // it is copied across here (set, not merge: merging the whole
+    // registry would double-sum the shared llc.policy.* counters the
+    // core snapshot already carries).
     if (cores.size() == 1) {
         cores[0].exportMetrics(metrics, prefix);
+        const std::string p = prefix.empty() ? "" : prefix + ".";
+        for (const auto &[path, value] : extraMetrics.counters()) {
+            if (path.rfind("profile.", 0) == 0)
+                metrics.setCounter(p + path, value);
+        }
+        for (const auto &[path, value] : extraMetrics.gauges()) {
+            if (path.rfind("profile.", 0) == 0)
+                metrics.setGauge(p + path, value);
+        }
         return;
     }
 
@@ -134,6 +148,21 @@ CorunSimulator::CorunSimulator(const CorunConfig &config,
     llc_->enableCoreAttribution(static_cast<unsigned>(num_cores));
     if (cfg.llcWaysPerCore != 0)
         llc_->setWayPartition(cfg.llcWaysPerCore);
+    if (cfg.base.profile.enabled) {
+        // One profiler on the shared LLC, observing the merged demand
+        // stream of every tenant (per-core streams are distinguishable
+        // by their tagged PCs when tagStreams is on). The per-core
+        // Simulators see a non-owning hierarchy and attach nothing.
+        profiler_ = std::make_unique<OnlineProfiler>(
+            cfg.base.profile, cfg.base.hierarchy.llc.numSets());
+        llc_->setEventHook(
+            [p = profiler_.get()](const Cache::AccessEvent &e) {
+                if (e.type == AccessType::Load ||
+                    e.type == AccessType::Store) {
+                    p->onAccess(e.set, e.block, e.pc, e.hit);
+                }
+            });
+    }
     sims_.reserve(num_cores);
     for (std::size_t i = 0; i < num_cores; ++i) {
         SimConfig per_core = cfg.base;
@@ -189,6 +218,8 @@ CorunSimulator::run(const std::vector<CorunStream *> &streams)
             if (all_warm) {
                 llc_->resetStats();
                 dram_->resetStats();
+                if (profiler_)
+                    profiler_->reset();
                 shared_reset = true;
             }
         }
@@ -245,6 +276,8 @@ CorunSimulator::result() const
     r.dram = dram_->stats();
     r.llcWaysPerCore = cfg.llcWaysPerCore;
     llc_->exportDynamicMetrics(r.extraMetrics, "llc");
+    if (profiler_)
+        profiler_->exportMetrics(r.extraMetrics, "profile");
     for (std::size_t i = 0; i < sims_.size(); ++i) {
         r.cores.push_back(sims_[i]->result());
         r.llcPerCore.push_back(

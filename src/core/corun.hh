@@ -213,6 +213,10 @@ class CorunSimulator
     std::unique_ptr<DramModel> dram_;
     std::unique_ptr<DramLevel> dramLevel_;
     std::unique_ptr<Cache> llc_;
+    /** The one shared-LLC profiler (base.profile.enabled), or null.
+     *  Reset at the all-cores-warm barrier alongside the LLC stats, so
+     *  a 1-core profiled co-run stays byte-identical to `run`. */
+    std::unique_ptr<OnlineProfiler> profiler_;
     std::vector<std::unique_ptr<Simulator>> sims_;
 };
 

@@ -70,19 +70,45 @@ SimResult::exportMetrics(MetricsRegistry &metrics,
 
 Simulator::Simulator(const SimConfig &config)
     : cfg(config), hier(config.hierarchy), cpu(config.core, hier)
-{}
+{
+    maybeAttachProfiler();
+}
 
 Simulator::Simulator(const SimConfig &config,
                      std::unique_ptr<ReplacementPolicy> llc_policy)
     : cfg(config), hier(config.hierarchy, std::move(llc_policy)),
       cpu(config.core, hier)
-{}
+{
+    maybeAttachProfiler();
+}
 
 Simulator::Simulator(const SimConfig &config, Cache *shared_llc,
                      DramModel *shared_dram)
     : cfg(config), hier(config.hierarchy, shared_llc, shared_dram),
       cpu(config.core, hier)
-{}
+{
+    // Shared-LLC arrangement: the co-run driver owns the LLC and
+    // attaches (and resets) the one shared profiler itself.
+}
+
+void
+Simulator::maybeAttachProfiler()
+{
+    if (!cfg.profile.enabled)
+        return;
+    profiler_ = std::make_unique<OnlineProfiler>(
+        cfg.profile, cfg.hierarchy.llc.numSets());
+    // Demand accesses only: writebacks carry no PC worth correlating
+    // and prefetch fills are the prefetcher's stream, not the
+    // program's. This matches CacheStats::demandAccesses().
+    hier.llc().setEventHook(
+        [p = profiler_.get()](const Cache::AccessEvent &e) {
+            if (e.type == AccessType::Load ||
+                e.type == AccessType::Store) {
+                p->onAccess(e.set, e.block, e.pc, e.hit);
+            }
+        });
+}
 
 void
 Simulator::onInstruction(const TraceRecord &rec)
@@ -104,6 +130,8 @@ Simulator::onInstruction(const TraceRecord &rec)
         warmupDone = true;
         hier.resetStats();
         cpu.resetStats();
+        if (profiler_)
+            profiler_->reset();
     }
 
     cpu.onInstruction(rec);
@@ -130,6 +158,8 @@ Simulator::result() const
     hier.l1d().exportDynamicMetrics(r.extraMetrics, "l1d");
     hier.l2().exportDynamicMetrics(r.extraMetrics, "l2");
     hier.llc().exportDynamicMetrics(r.extraMetrics, "llc");
+    if (profiler_)
+        profiler_->exportMetrics(r.extraMetrics, "profile");
     return r;
 }
 

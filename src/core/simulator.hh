@@ -12,6 +12,7 @@
 
 #include "core/cpu_core.hh"
 #include "core/hierarchy.hh"
+#include "profile/online_profiler.hh"
 #include "stats/metrics.hh"
 #include "trace/record.hh"
 #include "util/cancel.hh"
@@ -28,6 +29,13 @@ struct SimConfig
     InstCount warmupInstructions = 0;
     /** Measured instructions after warmup; 0 = until the trace ends. */
     InstCount measureInstructions = 0;
+    /**
+     * Online PC/address-correlation profiler attached to the LLC's
+     * demand stream (off by default; zero hot-path cost when off
+     * beyond the existing hook guard). In a co-run, the shared-LLC
+     * owner attaches one profiler; the per-core simulators skip it.
+     */
+    ProfileConfig profile;
     /**
      * Cooperative-cancellation token (not owned; may be null). The
      * instruction loop polls it every kCancelPollInterval instructions
@@ -129,10 +137,17 @@ class Simulator : public InstructionSink
     /** Snapshot the statistics of the measured window. */
     SimResult result() const;
 
+    /** The attached LLC profiler, or null (off, or co-run core). */
+    const OnlineProfiler *profiler() const { return profiler_.get(); }
+
   private:
+    /** Attach the profiler to the owned LLC when cfg.profile asks. */
+    void maybeAttachProfiler();
+
     SimConfig cfg;
     CacheHierarchy hier;
     CpuCore cpu;
+    std::unique_ptr<OnlineProfiler> profiler_;
     InstCount consumed = 0;
     bool warmupDone = false;
     bool budgetExhausted = false;

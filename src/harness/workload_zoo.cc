@@ -41,6 +41,7 @@ synthByName()
         {"gather_zipf", SynthPattern::GatherZipf},
         {"tree_search", SynthPattern::TreeSearch},
         {"small_ws", SynthPattern::SmallWs},
+        {"pc_mosaic", SynthPattern::PcMosaic},
     };
     return map;
 }
@@ -87,7 +88,8 @@ tryMakeNamedWorkload(const std::string &name, const ZooOptions &options)
     return notFoundError(
         "unknown workload '%s' (try one of: bfs bfs_do pr cc bc sssp tc "
         "stream_triad scan_thrash hot_cold pointer_chase stencil2d "
-        "mixed_phase dead_fill gather_zipf tree_search small_ws)",
+        "mixed_phase dead_fill gather_zipf tree_search small_ws "
+        "pc_mosaic)",
         name.c_str());
 }
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Online profiler implementation.
+ */
+
+#include "profile/online_profiler.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cachescope {
+
+namespace {
+
+/** Lower bound of log2 reuse bucket @p b (see kReuseBuckets). */
+std::uint64_t
+bucketLowerBound(std::size_t b)
+{
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+/**
+ * Smallest bucket lower bound v with P(distance <= bucket) >= q, in
+ * sampled-access units. Bucket resolution only — the profiler trades
+ * exact percentiles for O(1) memory per PC.
+ */
+std::uint64_t
+bucketPercentile(const std::array<std::uint64_t,
+                                  OnlineProfiler::kReuseBuckets> &buckets,
+                 std::uint64_t count, double q)
+{
+    if (count == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        cum += buckets[b];
+        if (cum >= target)
+            return bucketLowerBound(b);
+    }
+    return bucketLowerBound(buckets.size() - 1);
+}
+
+std::uint64_t
+roundToCounter(double v)
+{
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+} // anonymous namespace
+
+OnlineProfiler::OnlineProfiler(const ProfileConfig &config,
+                               std::uint32_t num_sets)
+    : cfg(config), numSets(num_sets)
+{
+    CS_ASSERT(cfg.sampleRate >= 1, "profile sample rate must be >= 1");
+    CS_ASSERT(num_sets > 0, "profiler needs a non-empty cache");
+}
+
+void
+OnlineProfiler::onAccess(std::uint32_t set, Addr block, Pc pc, bool hit)
+{
+    ++demandAccesses_;
+    if (cfg.sampleRate != 1 && set % cfg.sampleRate != 0)
+        return;
+
+    ++sampledAccesses_;
+    sampledHits_ += hit;
+    globalFootprint_.add(block);
+
+    PcState &state = perPc_[pc];
+    ++state.accesses;
+    state.hits += hit;
+    state.footprint.add(block);
+
+    // Reuse distance: gap in sampled demand accesses since this block
+    // was last touched (by any PC), attributed to the touching PC.
+    // First touches are "cold" — no distance to record.
+    const std::uint64_t now = sampledAccesses_;
+    auto [it, inserted] = lastTouch_.try_emplace(block, now);
+    if (inserted) {
+        ++coldAccesses_;
+        return;
+    }
+    const std::uint64_t distance = now - it->second;
+    it->second = now;
+    ++state.reuseCount;
+    state.reuseSum += distance;
+    const auto bucket = std::min<std::size_t>(
+        std::bit_width(distance), kReuseBuckets - 1);
+    ++state.reuse[bucket];
+}
+
+void
+OnlineProfiler::reset()
+{
+    demandAccesses_ = 0;
+    sampledAccesses_ = 0;
+    sampledHits_ = 0;
+    coldAccesses_ = 0;
+    globalFootprint_.reset();
+    perPc_.clear();
+    lastTouch_.clear();
+}
+
+OnlineProfiler::Summary
+OnlineProfiler::summarize() const
+{
+    Summary s;
+    s.sampleRate = cfg.sampleRate;
+    // Sets 0, R, 2R, ... below numSets.
+    s.sampledSets = (numSets + cfg.sampleRate - 1) / cfg.sampleRate;
+    s.demandAccesses = demandAccesses_;
+    s.sampledAccesses = sampledAccesses_;
+    s.sampledHits = sampledHits_;
+    s.coldAccesses = coldAccesses_;
+    const double scale = static_cast<double>(cfg.sampleRate);
+    s.footprintBlocks = globalFootprint_.estimate() * scale;
+
+    s.rows.reserve(perPc_.size());
+    for (const auto &[pc, state] : perPc_) {
+        PcRow row;
+        row.pc = pc;
+        row.accesses = state.accesses;
+        row.hits = state.hits;
+        row.reuseSamples = state.reuseCount;
+        row.footprintBlocks = state.footprint.estimate() * scale;
+        if (state.reuseCount != 0) {
+            row.reuseMean = static_cast<double>(state.reuseSum) /
+                            static_cast<double>(state.reuseCount) * scale;
+            row.reuseP50 =
+                bucketPercentile(state.reuse, state.reuseCount, 0.50) *
+                cfg.sampleRate;
+            row.reuseP90 =
+                bucketPercentile(state.reuse, state.reuseCount, 0.90) *
+                cfg.sampleRate;
+        }
+        s.rows.push_back(row);
+    }
+    // The canonical order everything below sums in: hottest PC first,
+    // ties by PC. Fixed order makes the floating-point reductions
+    // (entropy, concentration) byte-stable across runs and --jobs.
+    std::sort(s.rows.begin(), s.rows.end(),
+              [](const PcRow &a, const PcRow &b) {
+                  if (a.accesses != b.accesses)
+                      return a.accesses > b.accesses;
+                  return a.pc < b.pc;
+              });
+
+    if (sampledAccesses_ != 0) {
+        const double total = static_cast<double>(sampledAccesses_);
+        double entropy = 0.0;
+        for (const PcRow &row : s.rows) {
+            const double p = static_cast<double>(row.accesses) / total;
+            entropy -= p * std::log2(p);
+        }
+        s.entropyBits = entropy;
+
+        std::uint64_t cum = 0;
+        std::size_t next_k = 0;
+        const std::uint64_t threshold90 =
+            (sampledAccesses_ * 9 + 9) / 10; // ceil(0.9 * accesses)
+        for (std::size_t i = 0; i < s.rows.size(); ++i) {
+            cum += s.rows[i].accesses;
+            if (s.pcsFor90 == 0 && cum >= threshold90)
+                s.pcsFor90 = i + 1;
+            while (next_k < kConcentrationK.size() &&
+                   i + 1 == kConcentrationK[next_k]) {
+                s.concentration[next_k] =
+                    static_cast<double>(cum) / total;
+                ++next_k;
+            }
+        }
+        // Fewer PCs than k: the curve saturates at full coverage.
+        for (; next_k < kConcentrationK.size(); ++next_k)
+            s.concentration[next_k] = 1.0;
+    }
+    return s;
+}
+
+void
+OnlineProfiler::exportMetrics(MetricsRegistry &metrics,
+                              const std::string &prefix) const
+{
+    const Summary s = summarize();
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+
+    metrics.setCounter(p + "sample_rate", s.sampleRate);
+    metrics.setCounter(p + "sampled_sets", s.sampledSets);
+    metrics.setCounter(p + "demand_accesses", s.demandAccesses);
+    metrics.setCounter(p + "sampled_accesses", s.sampledAccesses);
+    metrics.setCounter(p + "sampled_hits", s.sampledHits);
+    metrics.setCounter(p + "cold_accesses", s.coldAccesses);
+    metrics.setCounter(p + "distinct_pcs", s.rows.size());
+    metrics.setCounter(p + "pcs_for_90pct", s.pcsFor90);
+    metrics.setCounter(p + "footprint_blocks",
+                       roundToCounter(s.footprintBlocks));
+    metrics.setGauge(p + "pc_entropy_bits", s.entropyBits);
+    for (std::size_t i = 0; i < kConcentrationK.size(); ++i) {
+        metrics.setGauge(p + "concentration.top_" +
+                             std::to_string(kConcentrationK[i]),
+                         s.concentration[i]);
+    }
+
+    const std::size_t ranked = std::min(s.rows.size(), kTopPcs);
+    for (std::size_t i = 0; i < ranked; ++i) {
+        const PcRow &row = s.rows[i];
+        const std::string rp = p + "top_pc." + std::to_string(i + 1) + ".";
+        metrics.setCounter(rp + "pc", row.pc);
+        metrics.setCounter(rp + "accesses", row.accesses);
+        metrics.setCounter(rp + "hits", row.hits);
+        metrics.setCounter(rp + "reuse_samples", row.reuseSamples);
+        metrics.setCounter(rp + "footprint_blocks",
+                           roundToCounter(row.footprintBlocks));
+        metrics.setGauge(rp + "hit_rate",
+                         row.accesses == 0
+                             ? 0.0
+                             : static_cast<double>(row.hits) /
+                                   static_cast<double>(row.accesses));
+        metrics.setGauge(rp + "reuse_mean", row.reuseMean);
+        metrics.setGauge(rp + "reuse_p50",
+                         static_cast<double>(row.reuseP50));
+        metrics.setGauge(rp + "reuse_p90",
+                         static_cast<double>(row.reuseP90));
+    }
+}
+
+} // namespace cachescope

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Online PC/address-correlation profiler.
+ *
+ * The paper's explanation for why PC-indexed replacement policies
+ * (SHiP, Hawkeye, Glider, MPPPB) collapse on graph analytics is a
+ * property of the access stream itself: a handful of memory PCs each
+ * touch enormous address footprints, so a PC carries almost no
+ * information about the fate of the next line it touches. CacheScope's
+ * end-state metrics (MPKI, speedup) show the *consequence*; this
+ * subsystem measures the *evidence*, online, at the LLC.
+ *
+ * It attaches to Cache's per-access event hook and records, for every
+ * demand access to a *sampled set* (set % sampleRate == 0):
+ *  - per-PC access and hit counts,
+ *  - per-PC distinct-block footprint via a HyperLogLog sketch
+ *    (~6.5% standard error, 256 B per PC),
+ *  - per-PC reuse distance (gap in sampled demand accesses since the
+ *    block was last touched), in log2 buckets.
+ * Globally it derives the PC-access entropy and the footprint
+ * concentration curve (fraction of accesses from the top-k PCs) — the
+ * paper's contrast is "top-8 PCs cover >90% of graph-kernel accesses".
+ *
+ * Set-sampling keeps the cost proportional to 1/sampleRate; with the
+ * profiler disarmed the cache hot path pays only its existing
+ * one-branch hook guard. Sampled estimates are scaled back to
+ * full-stream units by sampleRate (documented per metric); rate 1 is
+ * exact for counts and exact-up-to-sketch-error for footprints.
+ *
+ * Determinism: all exported values are derived from integer counters,
+ * register-max sketches and a fixed summation order (PCs sorted by
+ * access count, ties by PC), so equal access streams produce
+ * byte-identical profile.* metric trees regardless of --jobs.
+ */
+
+#ifndef CACHESCOPE_PROFILE_ONLINE_PROFILER_HH
+#define CACHESCOPE_PROFILE_ONLINE_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "profile/hll.hh"
+#include "stats/metrics.hh"
+#include "util/types.hh"
+
+namespace cachescope {
+
+/** Configuration of the online profiler (part of SimConfig). */
+struct ProfileConfig
+{
+    /** Off by default: nothing is attached and nothing is exported. */
+    bool enabled = false;
+    /**
+     * Profile only sets with (set index % sampleRate == 0). 1 = every
+     * set (exact counts); N trades accuracy for speed and memory on
+     * long runs. Counts and footprints are scaled back by sampleRate
+     * on export.
+     */
+    std::uint32_t sampleRate = 1;
+};
+
+class OnlineProfiler
+{
+  public:
+    /** Reuse-distance log2 buckets: [0], [1], [2,3], ... , [2^31,inf). */
+    static constexpr std::size_t kReuseBuckets = 34;
+    /** Ranked per-PC rows exported under top_pc.<rank>.*. */
+    static constexpr std::size_t kTopPcs = 8;
+    /** The k values of the exported concentration curve. */
+    static constexpr std::array<std::uint32_t, 8> kConcentrationK = {
+        1, 2, 4, 8, 16, 32, 64, 128};
+
+    OnlineProfiler(const ProfileConfig &config, std::uint32_t num_sets);
+
+    /**
+     * Record one fully resolved demand access (the caller filters out
+     * writebacks and prefetch fills). Unsampled sets cost one modulo
+     * and a branch.
+     */
+    void onAccess(std::uint32_t set, Addr block, Pc pc, bool hit);
+
+    /** Drop all recorded state (the warmup boundary). */
+    void reset();
+
+    /** One aggregated per-PC row. */
+    struct PcRow
+    {
+        Pc pc = 0;
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t reuseSamples = 0;
+        /** Estimated distinct blocks touched, scaled by sampleRate. */
+        double footprintBlocks = 0.0;
+        /** Mean reuse distance in demand accesses (scaled). */
+        double reuseMean = 0.0;
+        /** Bucket-resolution percentiles (lower bounds, scaled). */
+        std::uint64_t reuseP50 = 0;
+        std::uint64_t reuseP90 = 0;
+    };
+
+    /** The full derived characterization. */
+    struct Summary
+    {
+        std::uint32_t sampleRate = 1;
+        std::uint32_t sampledSets = 0;
+        std::uint64_t demandAccesses = 0;
+        std::uint64_t sampledAccesses = 0;
+        std::uint64_t sampledHits = 0;
+        /** Sampled accesses whose block had no prior touch. */
+        std::uint64_t coldAccesses = 0;
+        std::uint64_t reuseSamples = 0;
+        /** Estimated distinct blocks over all PCs (scaled). */
+        double footprintBlocks = 0.0;
+        /** Shannon entropy of the per-PC access distribution. */
+        double entropyBits = 0.0;
+        /** Fraction of sampled accesses from the top-k PCs, for each
+         *  k in kConcentrationK (1.0 once k >= distinct PCs). */
+        std::array<double, kConcentrationK.size()> concentration = {};
+        /** Smallest number of PCs covering >= 90% of accesses. */
+        std::uint64_t pcsFor90 = 0;
+        /** Every PC, sorted by accesses desc, then PC asc. */
+        std::vector<PcRow> rows;
+    };
+
+    Summary summarize() const;
+
+    /**
+     * Export the summary under "<prefix>." (counters for exact
+     * quantities, gauges for estimates/ratios; the top kTopPcs rows
+     * under "<prefix>.top_pc.<rank>."). Deterministic byte-for-byte
+     * for equal access streams.
+     */
+    void exportMetrics(MetricsRegistry &metrics,
+                       const std::string &prefix = "profile") const;
+
+    const ProfileConfig &config() const { return cfg; }
+
+  private:
+    struct PcState
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t reuseCount = 0;
+        std::uint64_t reuseSum = 0;
+        std::array<std::uint64_t, kReuseBuckets> reuse = {};
+        HllSketch footprint;
+    };
+
+    ProfileConfig cfg;
+    std::uint32_t numSets;
+    std::uint64_t demandAccesses_ = 0;
+    std::uint64_t sampledAccesses_ = 0;
+    std::uint64_t sampledHits_ = 0;
+    std::uint64_t coldAccesses_ = 0;
+    HllSketch globalFootprint_;
+    std::unordered_map<Pc, PcState> perPc_;
+    /** block -> sampled-access index of its last touch. */
+    std::unordered_map<Addr, std::uint64_t> lastTouch_;
+};
+
+} // namespace cachescope
+
+#endif // CACHESCOPE_PROFILE_ONLINE_PROFILER_HH

@@ -145,6 +145,10 @@ TreePlruPolicy::TreePlruPolicy(const CacheGeometry &geometry)
 std::uint32_t
 TreePlruPolicy::findVictim(std::uint32_t set, Pc, Addr, AccessType)
 {
+    // Single-way: the tree has zero internal nodes and treeBits is
+    // empty — indexing it (even to form a reference) would be UB.
+    if (leafCount == 1)
+        return 0;
     std::uint8_t *tree =
         &treeBits[static_cast<std::size_t>(set) * (leafCount - 1)];
     // Walk from the root following the "cold" direction indicated by
@@ -164,6 +168,8 @@ void
 TreePlruPolicy::update(std::uint32_t set, std::uint32_t way, Pc, Addr,
                        AccessType, bool)
 {
+    if (leafCount == 1)
+        return;
     std::uint8_t *tree =
         &treeBits[static_cast<std::size_t>(set) * (leafCount - 1)];
     // Flip every node on the root-to-leaf path to point away from the

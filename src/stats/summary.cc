@@ -115,13 +115,19 @@ Histogram::percentile(double q) const
         return 0;
     const auto target = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(samples)));
+    // Regular buckets report their inclusive upper bound. The overflow
+    // bucket covers [num_buckets * width, inf) and has no upper bound,
+    // so a percentile landing there saturates to the overflow boundary
+    // — the largest value the histogram can still resolve — instead of
+    // fabricating a value one full bucket past the tracked range.
+    const std::size_t overflow = counts.size() - 1;
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < counts.size(); ++i) {
         cum += counts[i];
         if (cum >= target)
-            return (i + 1) * width - 1;
+            return i == overflow ? overflow * width : (i + 1) * width - 1;
     }
-    return counts.size() * width - 1;
+    return overflow * width;
 }
 
 } // namespace cachescope

@@ -76,7 +76,13 @@ class Histogram
     std::uint64_t bucketWidth() const { return width; }
     std::uint64_t totalSamples() const { return samples; }
 
-    /** @return the smallest value v such that P(X <= v) >= q, by bucket. */
+    /**
+     * @return the smallest value v such that P(X <= v) >= q, at bucket
+     * resolution (a regular bucket answers with its inclusive upper
+     * bound). A percentile landing in the open-ended overflow bucket
+     * saturates to the overflow boundary bucketWidth()*(numBuckets()-1)
+     * — "at least this" is all the histogram knows there.
+     */
     std::uint64_t percentile(double q) const;
 
   private:

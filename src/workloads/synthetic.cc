@@ -398,6 +398,49 @@ runSmallWs(InstructionSink &sink, const SynthParams &p)
     (void)acc;
 }
 
+// -------------------------------------------------------------- PcMosaic --
+
+void
+runPcMosaic(InstructionSink &sink, const SynthParams &p)
+{
+    // The inverse of a graph kernel's PC/address structure: mosaicPcs
+    // static load sites, each streaming through a private slice of the
+    // buffer. Every PC touches only mainBytes/mosaicPcs worth of
+    // blocks, and accesses spread uniformly over the sites, so the
+    // top-k concentration curve stays flat (top-8 of 48 sites ~ 17%)
+    // where a graph kernel's jumps past 90%.
+    const std::uint32_t sites = std::max<std::uint32_t>(p.mosaicPcs, 2);
+    const std::size_t n =
+        std::max<std::size_t>(p.mainBytes / 8, std::size_t{64} * sites);
+    const std::size_t slice = n / sites;
+    AddressSpace space;
+    TracedArray<std::uint64_t> buf(n, space, sink, 9);
+    InstructionMix mix(sink);
+
+    PcRegion region(p.pcWorkloadId);
+    std::vector<Pc> pc_site(sites);
+    for (Pc &pc : pc_site)
+        pc = region.allocate();
+    const Pc pc_alu = region.allocate();
+    const Pc pc_br = region.allocate();
+
+    // Per-site stream positions, in blocks within the site's slice.
+    Rng rng(p.seed);
+    std::vector<std::uint64_t> pos(sites, 0);
+    std::uint64_t i = 0;
+    std::uint64_t acc = 0;
+    while (sink.wantsMore()) {
+        const std::size_t site = rng.nextBounded(sites);
+        pos[site] = (pos[site] + 8) % slice; // one access per block
+        acc += buf.load(site * slice + pos[site], pc_site[site]);
+        mix.alu(pc_alu, p.aluPerOp);
+        mix.branch(pc_br);
+        if ((++i & kPollMask) == 0 && !sink.wantsMore())
+            break;
+    }
+    (void)acc;
+}
+
 } // anonymous namespace
 
 const char *
@@ -414,6 +457,7 @@ synthPatternName(SynthPattern pattern)
       case SynthPattern::GatherZipf: return "gather_zipf";
       case SynthPattern::TreeSearch: return "tree_search";
       case SynthPattern::SmallWs: return "small_ws";
+      case SynthPattern::PcMosaic: return "pc_mosaic";
     }
     return "unknown";
 }
@@ -441,6 +485,7 @@ SyntheticWorkload::run(InstructionSink &sink)
       case SynthPattern::GatherZipf: runGatherZipf(sink, prm); break;
       case SynthPattern::TreeSearch: runTreeSearch(sink, prm); break;
       case SynthPattern::SmallWs: runSmallWs(sink, prm); break;
+      case SynthPattern::PcMosaic: runPcMosaic(sink, prm); break;
     }
     sink.onEnd();
 }

@@ -23,6 +23,10 @@
  *  - TreeSearch:   implicit binary-tree descent with one PC per level:
  *                  top levels cache-friendly, leaf levels averse.
  *  - SmallWs:      cache-resident working set (sanity anchor ~1.0x).
+ *  - PcMosaic:     many static access sites, each streaming through
+ *                  its own small private slice — the many-PCs /
+ *                  small-per-PC-footprint extreme the online profiler
+ *                  contrasts against the graph kernels.
  *
  * Unlike the graph kernels, these expose many distinct memory PCs with
  * stable per-PC reuse — the contrast the paper's Fig. 3 argument needs.
@@ -52,6 +56,7 @@ enum class SynthPattern
     GatherZipf,
     TreeSearch,
     SmallWs,
+    PcMosaic,
 };
 
 /** @return a short name for @p pattern ("stream_triad", ...). */
@@ -74,6 +79,8 @@ struct SynthParams
     std::uint32_t aluPerOp = 6;
     /** Operations per phase for MixedPhase. */
     std::uint64_t phaseOps = 1ull << 18;
+    /** Distinct memory access sites for PcMosaic. */
+    std::uint32_t mosaicPcs = 48;
 };
 
 /**

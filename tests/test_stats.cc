@@ -119,6 +119,32 @@ TEST(Histogram, Percentile)
     EXPECT_EQ(empty.percentile(0.5), 0u);
 }
 
+TEST(Histogram, PercentileSaturatesAtOverflowBoundary)
+{
+    // Buckets [0,10) [10,20) [20,30) [30,40) + overflow [40,inf).
+    // Known answers: 5 samples, three in bucket 0 and two far past the
+    // tracked range. p50 (target: 3rd sample) resolves in bucket 0 and
+    // reports its upper bound 9; p99 and p100 (targets: 5th sample)
+    // land in the overflow bucket and must saturate to the boundary
+    // 40, not fabricate 49 — a value the histogram never resolved.
+    Histogram h(10, 4);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(95);
+    h.add(1000);
+    EXPECT_EQ(h.percentile(0.50), 9u);
+    EXPECT_EQ(h.percentile(0.99), 40u);
+    EXPECT_EQ(h.percentile(1.0), 40u);
+
+    // All mass in the overflow bucket: every percentile saturates.
+    Histogram all_over(5, 2);
+    all_over.add(100);
+    all_over.add(200);
+    EXPECT_EQ(all_over.percentile(0.5), 10u);
+    EXPECT_EQ(all_over.percentile(1.0), 10u);
+}
+
 TEST(Table, AsciiRendering)
 {
     Table t({"name", "value"});

@@ -56,7 +56,7 @@ TEST(WorkloadZooDeathTest, UnknownNamesAreFatal)
 TEST(WorkloadZoo, NameListIsComplete)
 {
     const auto names = zooWorkloadNames();
-    EXPECT_EQ(names.size(), 17u); // 6 GAP kernels + bfs_do + 10 synthetic
+    EXPECT_EQ(names.size(), 18u); // 6 GAP kernels + bfs_do + 11 synthetic
 }
 
 } // namespace

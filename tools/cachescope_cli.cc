@@ -239,7 +239,38 @@ configFrom(const Args &args, const std::string &policy)
         cfg.hierarchy.llc.sizeBytes = args.getU64("llc-kb", 1408) * 1024;
     }
     cfg.hierarchy.l2.prefetcher = args.get("prefetcher", "none");
+    // --profile (every set) or --profile N (1-in-N set sampling).
+    // Parsed here so run, sweep, replay and corun all honour it.
+    if (args.has("profile")) {
+        const std::uint64_t rate = args.getU64("profile", 1);
+        if (rate == 0 || rate > (1ull << 31))
+            fatal("flag --profile: sample rate must be in [1, 2^31]");
+        cfg.profile.enabled = true;
+        cfg.profile.sampleRate = static_cast<std::uint32_t>(rate);
+    }
     return cfg;
+}
+
+/** One-line human summary of a run's profile.* subtree (if present). */
+void
+printProfileSummary(const MetricsRegistry &metrics)
+{
+    if (!metrics.hasCounter("profile.demand_accesses"))
+        return;
+    std::printf(
+        "profile: %llu distinct LLC PCs; top-8 cover %.1f%% of demand "
+        "accesses (%llu PC(s) for 90%%); footprint ~%llu blocks; "
+        "pc entropy %.2f bits (1-in-%llu sets)\n",
+        static_cast<unsigned long long>(
+            metrics.counter("profile.distinct_pcs")),
+        metrics.gauge("profile.concentration.top_8") * 100.0,
+        static_cast<unsigned long long>(
+            metrics.counter("profile.pcs_for_90pct")),
+        static_cast<unsigned long long>(
+            metrics.counter("profile.footprint_blocks")),
+        metrics.gauge("profile.pc_entropy_bits"),
+        static_cast<unsigned long long>(
+            metrics.counter("profile.sample_rate")));
 }
 
 int
@@ -296,6 +327,7 @@ cmdRun(const Args &args)
     }
     MetricsRegistry metrics;
     r.exportMetrics(metrics);
+    printProfileSummary(metrics);
     return emitMetricsJson(
         args, "run:" + workload->name() + ":" + policy, wall_ms, metrics);
 }
@@ -542,6 +574,7 @@ cmdCorun(const Args &args)
 
     MetricsRegistry metrics;
     report.exportMetrics(metrics);
+    printProfileSummary(metrics);
     return emitMetricsJson(args, "corun:" + policy, wall_ms, metrics);
 }
 
@@ -639,6 +672,7 @@ cmdReplay(const Args &args)
     metrics.setCounter("replay.records", replayed);
     metrics.setGauge("sim.wall_seconds", wall_ms / 1000.0);
     metrics.setGauge("sim.throughput_mips", mips);
+    printProfileSummary(metrics);
     return emitMetricsJson(args, "replay:" + args.get("policy", "lru"),
                            wall_ms, metrics);
 }
@@ -662,6 +696,11 @@ usage()
         "common flags: --scale N --degree N --seed N --uniform\n"
         "              --warmup N --measure N --llc-kb N\n"
         "              --prefetcher none|next_line|stride|streamer\n"
+        "              --profile [N] (attach the online PC/address-\n"
+        "               correlation profiler to the LLC: per-PC\n"
+        "               footprints, reuse distances, entropy and\n"
+        "               concentration under profile.*; N = profile\n"
+        "               1-in-N sets, default 1 = every set)\n"
         "              --metrics-json FILE (run/sweep/replay: dump the\n"
         "               full counter tree as cachescope-metrics-v1)\n"
         "corun flags:  --llc-ways-per-core K (static way partition:\n"

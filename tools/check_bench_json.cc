@@ -70,6 +70,71 @@ contentProblems(const MetricsDocument &doc)
             complain("gauge '" + path + "' is not finite");
     }
 
+    // Every "profile.sample_rate" counter marks one online-profiler
+    // subtree rooted at its prefix; validate that subtree's schema:
+    // the core counters present and mutually consistent, the entropy
+    // and concentration gauges present and in range. fig9_pc_corr
+    // documents must additionally be non-empty per workload (a
+    // profiled simulation that saw no LLC demand access means the
+    // bench mis-ran) and carry both contrast groups.
+    {
+        const auto &counters = doc.metrics.counters();
+        const auto &gauges = doc.metrics.gauges();
+        const std::string marker = "profile.sample_rate";
+        std::size_t gap_trees = 0;
+        std::size_t spec_trees = 0;
+        for (const auto &[path, rate] : counters) {
+            if (path.size() < marker.size() ||
+                path.compare(path.size() - marker.size(), marker.size(),
+                             marker) != 0) {
+                continue;
+            }
+            const std::string prefix =
+                path.substr(0, path.size() - sizeof("sample_rate") + 1);
+            if (rate == 0)
+                complain("'" + path + "' must be >= 1");
+            const auto demand = counters.find(prefix + "demand_accesses");
+            const auto sampled =
+                counters.find(prefix + "sampled_accesses");
+            for (const char *want :
+                 {"demand_accesses", "sampled_accesses", "distinct_pcs",
+                  "pcs_for_90pct", "footprint_blocks"}) {
+                if (counters.find(prefix + want) == counters.end())
+                    complain("profile tree '" + prefix +
+                             "' lacks counter '" + want + "'");
+            }
+            if (demand != counters.end() && sampled != counters.end() &&
+                sampled->second > demand->second) {
+                complain("profile tree '" + prefix +
+                         "': sampled_accesses exceeds demand_accesses");
+            }
+            if (gauges.find(prefix + "pc_entropy_bits") == gauges.end())
+                complain("profile tree '" + prefix +
+                         "' lacks gauge 'pc_entropy_bits'");
+            const auto top8 =
+                gauges.find(prefix + "concentration.top_8");
+            if (top8 == gauges.end()) {
+                complain("profile tree '" + prefix +
+                         "' lacks gauge 'concentration.top_8'");
+            } else if (top8->second < 0.0 || top8->second > 1.0) {
+                complain("profile tree '" + prefix +
+                         "': concentration.top_8 outside [0, 1]");
+            }
+            if (doc.name == "fig9_pc_corr") {
+                if (demand != counters.end() && demand->second == 0)
+                    complain("fig9 profile tree '" + prefix +
+                             "' is empty (no demand accesses)");
+                gap_trees += prefix.rfind("gap.", 0) == 0;
+                spec_trees += prefix.rfind("spec_like.", 0) == 0;
+            }
+        }
+        if (doc.name == "fig9_pc_corr" &&
+            (gap_trees == 0 || spec_trees == 0)) {
+            complain("fig9_pc_corr needs profiled workloads in both "
+                     "the gap. and spec_like. groups");
+        }
+    }
+
     // Every "corun.num_cores" counter marks one co-run tree rooted at
     // its prefix; validate that tree's per-core schema.
     const auto &counters = doc.metrics.counters();
