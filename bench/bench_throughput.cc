@@ -4,7 +4,11 @@
  * figure): captures the GAP BFS workload to a binary trace, then
  * replays it end-to-end — trace decode, checksum verification, core
  * timing model, full cache hierarchy — and reports wall-clock seconds
- * and simulated MIPS for both phases.
+ * and simulated MIPS for both phases. A third phase replays the same
+ * trace through the two-speed engine's fast-sweep configuration
+ * (functional warmup over the first half, 1/16 LLC set-sampling) so
+ * its speedup is tracked as "fast.sim.throughput_mips" alongside the
+ * exact-path number.
  *
  * The replay numbers are the ones the CI perf-smoke job tracks: the
  * sweep wall-clock that gates every experiment in EXPERIMENTS.md is
@@ -112,6 +116,31 @@ main()
           1e6
         : 0.0;
 
+    // --- Phase 3: fast-mode replay (two-speed engine) --------------------
+    // Same trace through the fast-sweep configuration — functional
+    // warmup over the first half, 1/16 LLC set-sampling throughout —
+    // so the speedup the two-speed engine buys is tracked alongside
+    // the exact-path number it multiplies.
+    SimConfig fast_cfg = cascadeLakeConfig("lru", replayed / 2, 0);
+    fast_cfg.warmupMode = WarmupMode::Functional;
+    fast_cfg.hierarchy.llc.sampleSets = 16;
+    auto fast_reader = TraceReader::open(trace_path);
+    if (!fast_reader.ok())
+        fatal("%s", fast_reader.status().message().c_str());
+    Simulator fast_sim(fast_cfg);
+    const auto fast_start = std::chrono::steady_clock::now();
+    std::uint64_t fast_replayed = 0;
+    if (Status s = fast_reader.value()->replayInto(fast_sim,
+                                                   &fast_replayed);
+        !s.ok()) {
+        fatal("fast replay failed: %s", s.message().c_str());
+    }
+    const double fast_s = secondsSince(fast_start);
+    const double fast_mips = fast_s > 0.0
+        ? static_cast<double>(fast_sim.instructionsConsumed()) / fast_s /
+          1e6
+        : 0.0;
+
     std::error_code ec;
     std::filesystem::remove(trace_path, ec);
 
@@ -130,16 +159,28 @@ main()
     table.addNumber(static_cast<double>(replayed), 0);
     table.addNumber(replay_s, 2);
     table.addNumber(replay_mips, 1);
+    table.newRow();
+    table.addCell("fast replay");
+    table.addNumber(static_cast<double>(fast_replayed), 0);
+    table.addNumber(fast_s, 2);
+    table.addNumber(fast_mips, 1);
     bench::emitTable(table, "throughput");
 
     const SimResult result = sim.result();
     bench_metrics.add(result, "replay");
+    bench_metrics.add(fast_sim.result(), "fast");
     MetricsRegistry &reg = bench_metrics.registry();
     reg.setCounter("replay.records", replayed);
     reg.setCounter("capture.records", captured);
     reg.setGauge("capture.wall_seconds", capture_s);
     reg.setGauge("sim.wall_seconds", replay_s);
     reg.setGauge("sim.throughput_mips", replay_mips);
+    reg.setGauge("fast.sim.wall_seconds", fast_s);
+    reg.setGauge("fast.sim.warmup_wall_seconds",
+                 fast_sim.warmupWallSeconds());
+    reg.setGauge("fast.sim.measure_wall_seconds",
+                 fast_sim.measureWallSeconds());
+    reg.setGauge("fast.sim.throughput_mips", fast_mips);
     bench_metrics.emit();
     return 0;
 }

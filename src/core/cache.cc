@@ -12,6 +12,7 @@
 #include "replacement/basic.hh"
 #include "replacement/rrip.hh"
 #include "stats/metrics.hh"
+#include "stats/summary.hh"
 #include "util/failpoint.hh"
 #include "util/intmath.hh"
 #include "util/logging.hh"
@@ -41,6 +42,17 @@ CacheConfig::validate() const
         return invalidArgumentError(
             "cache '%s': derived set count %llu is not a power of two",
             name.c_str(), static_cast<unsigned long long>(sets));
+    }
+    if (sampleSets == 0 || !isPowerOf2(sampleSets)) {
+        return invalidArgumentError(
+            "cache '%s': set-sampling rate %u must be a power of two",
+            name.c_str(), sampleSets);
+    }
+    if (sampleSets > sets) {
+        return invalidArgumentError(
+            "cache '%s': set-sampling rate %u exceeds the %llu sets",
+            name.c_str(), sampleSets,
+            static_cast<unsigned long long>(sets));
     }
     if (!ReplacementPolicyFactory::isRegistered(replacement)) {
         return notFoundError(
@@ -161,6 +173,51 @@ Cache::Cache(const CacheConfig &config, MemoryLevel *next,
     belowCache = dynamic_cast<Cache *>(below);
     belowDram = dynamic_cast<DramLevel *>(below);
     detectHitFastPath();
+    initSampling();
+}
+
+namespace {
+
+/** splitmix64: the standard 64-bit finalizer (a bijection, so distinct
+ *  set indices never collide and ranking by hash has no ties). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+void
+Cache::initSampling()
+{
+    if (cfg.sampleSets <= 1)
+        return;
+    CS_ASSERT(isPowerOf2(cfg.sampleSets) && cfg.sampleSets <= sets,
+              "set-sampling rate must be a power of two <= numSets");
+    // Rank the sets by a fixed hash of their index and keep exactly
+    // numSets / sampleSets of them. A pure function of (set count,
+    // rate): the same geometry always samples the same sets, which the
+    // determinism tests and --jobs reproducibility rely on. Hashing
+    // (rather than a stride like set % N == 0) decorrelates the subset
+    // from power-of-two access patterns.
+    std::vector<std::uint32_t> order(sets);
+    for (std::uint32_t s = 0; s < sets; ++s)
+        order[s] = s;
+    std::sort(order.begin(), order.end(),
+              [](std::uint32_t a, std::uint32_t b) {
+                  return mix64(a) < mix64(b);
+              });
+    sampledSetCount_ = sets / cfg.sampleSets;
+    sampledSetBits_.assign((static_cast<std::size_t>(sets) + 63) / 64, 0);
+    for (std::uint32_t i = 0; i < sampledSetCount_; ++i)
+        setBit(sampledSetBits_, order[i]);
+    setDemandAccesses_.assign(sets, 0);
+    setDemandMisses_.assign(sets, 0);
+    sampling_ = true;
 }
 
 void
@@ -196,6 +253,11 @@ Cache::belowAccess(Addr addr, Pc pc, AccessType type, Cycle now)
 {
     if (belowCache)
         return belowCache->access(addr, pc, type, now);
+    // Functional warmup: the level below here is DRAM (or a test
+    // stand-in) — pure timing state with no architectural content —
+    // so skip it entirely and return the data "immediately".
+    if (functional_)
+        return now;
     if (belowDram)
         return belowDram->access(addr, pc, type, now);
     return below->access(addr, pc, type, now);
@@ -285,6 +347,21 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     if (hooksArmed_ && accessHook && type != AccessType::Writeback)
         accessHook(block, pc, type);
 
+    // Set-sampling filter. Placed after the access hook so the Belady
+    // oracle still records the full stream, but before any state is
+    // touched: an access to an unsampled set costs this one branch and
+    // nothing else — no tag scan, no policy, no stats, no level below.
+    // The event hook keeps its contract of seeing exactly what the
+    // statistics count, so it does not fire for skipped accesses.
+    if (sampling_) {
+        if (!testBit(sampledSetBits_, set)) {
+            ++skippedAccesses_;
+            return lookup_done;
+        }
+        if (type == AccessType::Load || type == AccessType::Store)
+            ++setDemandAccesses_[set];
+    }
+
     // Lookup: a single pass over the set's contiguous tag run finds the
     // hit way and records the first invalid way so the miss path below
     // needs no second scan.
@@ -345,6 +422,9 @@ Cache::access(Addr addr, Pc pc, AccessType type, Cycle now)
     ++stats_.misses[type_idx];
     if (coreSlice_)
         ++coreSlice_->misses[type_idx];
+    if (sampling_ &&
+        (type == AccessType::Load || type == AccessType::Store))
+        ++setDemandMisses_[set];
 
     // Fetch from below. Writebacks carry their own data and prefetches
     // of already-inflight lines are not modelled, so only demand types
@@ -437,6 +517,35 @@ Cache::exportDynamicMetrics(MetricsRegistry &metrics,
     repl->exportMetrics(metrics, prefix + ".policy");
     if (prefetch)
         prefetch->exportMetrics(metrics, prefix + ".prefetcher");
+    if (!sampling_)
+        return;
+    // Full-stream estimates from the sampled subset, exported beside
+    // the raw counters (which keep counting exactly what was
+    // simulated, so metric-tree merges and slice-sum checks stay
+    // exact). With exactly numSets/sampleSets sampled sets the scale
+    // factor is the integral rate, so the scaled counters stay uint64
+    // and are always >= the raw values — check_bench_json relies on
+    // both. Nothing under "sampled." exists when sampling is off.
+    const std::string sp = prefix + ".sampled.";
+    const std::uint64_t rate = cfg.sampleSets;
+    metrics.setCounter(sp + "sample_rate", rate);
+    metrics.setCounter(sp + "sets_total", sets);
+    metrics.setCounter(sp + "sets_sampled", sampledSetCount_);
+    metrics.setCounter(sp + "skipped_accesses", skippedAccesses_);
+    metrics.setCounter(sp + "demand_accesses",
+                       stats_.demandAccesses() * rate);
+    metrics.setCounter(sp + "demand_hits", stats_.demandHits() * rate);
+    metrics.setCounter(sp + "demand_misses",
+                       stats_.demandMisses() * rate);
+    metrics.setGauge(sp + "demand_miss_rate", stats_.demandMissRate());
+    std::vector<double> per_set;
+    per_set.reserve(sampledSetCount_);
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        if (testBit(sampledSetBits_, s))
+            per_set.push_back(static_cast<double>(setDemandMisses_[s]));
+    }
+    metrics.setGauge(sp + "relative_stderr",
+                     sampledEstimateRelativeStderr(per_set, sets));
 }
 
 void

@@ -24,6 +24,7 @@
 #ifndef CACHESCOPE_CORE_CACHE_HH
 #define CACHESCOPE_CORE_CACHE_HH
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -74,6 +75,17 @@ struct CacheConfig
     std::string replacement = "lru";
     /** Prefetcher name ("none", "next_line", "stride", "streamer"). */
     std::string prefetcher = "none";
+    /**
+     * Set-sampling rate: 1 simulates every set (the default, exact);
+     * N > 1 simulates only a deterministic hash-selected 1-in-N subset
+     * of the sets and skips all work (tags, policy, stats, the level
+     * below) for the rest — the ChampSim/CRC2 sampled-set technique.
+     * Sampled counters are exported scaled back to full-stream
+     * estimates under "<prefix>.sampled."; the raw counters keep
+     * counting exactly what was simulated. Must be a power of two no
+     * larger than the set count.
+     */
+    std::uint32_t sampleSets = 1;
 
     /**
      * Check that the shape derives a usable geometry (power-of-two
@@ -189,7 +201,46 @@ class Cache final : public MemoryLevel
         stats_.reset();
         for (CacheStats &slice : coreStats_)
             slice.reset();
+        skippedAccesses_ = 0;
+        std::fill(setDemandAccesses_.begin(), setDemandAccesses_.end(), 0);
+        std::fill(setDemandMisses_.begin(), setDemandMisses_.end(), 0);
     }
+
+    // ---- two-speed simulation support -------------------------------
+
+    /**
+     * Functional (timing-free) warmup: while enabled, misses that
+     * would go to DRAM (or any non-cache level below) return
+     * immediately instead of walking the bank queues. Tags,
+     * replacement metadata and prefetcher state still update exactly
+     * as in timed mode — only timing state is skipped. Set on the
+     * DRAM-adjacent cache by the simulator during functional warmup
+     * and cleared at the warmup boundary.
+     */
+    void setFunctionalMode(bool on) { functional_ = on; }
+    bool functionalMode() const { return functional_; }
+
+    /** @return true iff set-sampling is enabled (sampleSets > 1). */
+    bool samplingEnabled() const { return sampling_; }
+
+    /** @return true iff @p set is simulated under the sampling filter
+     *  (always true when sampling is off). The selection is a pure
+     *  function of (set count, sample rate), so it is identical across
+     *  runs, processes and --jobs values. */
+    bool
+    setIsSampled(std::uint32_t set) const
+    {
+        return !sampling_ || testBit(sampledSetBits_, set);
+    }
+
+    /** Number of sets actually simulated (== numSets / sampleSets). */
+    std::uint32_t sampledSetCount() const
+    {
+        return sampling_ ? sampledSetCount_ : sets;
+    }
+
+    /** Accesses dropped by the sampling filter since the last reset. */
+    std::uint64_t skippedAccesses() const { return skippedAccesses_; }
 
     // ---- multi-core co-run support ----------------------------------
     //
@@ -391,6 +442,25 @@ class Cache final : public MemoryLevel
     /** One-branch guard for the hook calls on the hot path. */
     bool hooksArmed_ = false;
     std::vector<Addr> prefetchScratch;
+
+    /** Pick the sampled-set subset (ctor helper; no-op at rate 1). */
+    void initSampling();
+
+    /** One-branch guard for the sampling filter (sampleSets > 1). */
+    bool sampling_ = false;
+    /** Functional-warmup flag: skip the non-cache level below. */
+    bool functional_ = false;
+    /** Bitmap of simulated sets (empty when sampling is off). */
+    std::vector<std::uint64_t> sampledSetBits_;
+    std::uint32_t sampledSetCount_ = 0;
+    /** Accesses dropped by the sampling filter. */
+    std::uint64_t skippedAccesses_ = 0;
+    /**
+     * Per-set demand access/miss counts on sampled sets, backing the
+     * exported sampling-error gauge (empty when sampling is off).
+     */
+    std::vector<std::uint64_t> setDemandAccesses_;
+    std::vector<std::uint64_t> setDemandMisses_;
 };
 
 /** Adapter presenting a DramModel as the bottom MemoryLevel. */

@@ -148,6 +148,12 @@ CorunSimulator::CorunSimulator(const CorunConfig &config,
     llc_->enableCoreAttribution(static_cast<unsigned>(num_cores));
     if (cfg.llcWaysPerCore != 0)
         llc_->setWayPartition(cfg.llcWaysPerCore);
+    // Functional warmup: the shared LLC's flag belongs to the driver,
+    // not to any one core's boundary — it stays on until the
+    // all-cores-warm barrier in run() (held early-warm cores are not
+    // stepped, so no measured traffic can predate the clear).
+    if (cfg.base.warmupMode == WarmupMode::Functional)
+        llc_->setFunctionalMode(true);
     if (cfg.base.profile.enabled) {
         // One profiler on the shared LLC, observing the merged demand
         // stream of every tenant (per-core streams are distinguishable
@@ -178,6 +184,12 @@ CorunSimulator::run(const std::vector<CorunStream *> &streams)
 {
     CS_ASSERT(streams.size() == sims_.size(), "one stream per core");
     const std::size_t n = sims_.size();
+    const auto run_start = std::chrono::steady_clock::now();
+    auto elapsed = [run_start]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - run_start)
+            .count();
+    };
 
     // One prefetched record per core, so end-of-stream is known before
     // the core is considered for arbitration.
@@ -216,11 +228,15 @@ CorunSimulator::run(const std::vector<CorunStream *> &streams)
                 }
             }
             if (all_warm) {
+                // End of the (possibly functional) warmup phase: the
+                // timed path owns the shared LLC from here on.
+                llc_->setFunctionalMode(false);
                 llc_->resetStats();
                 dram_->resetStats();
                 if (profiler_)
                     profiler_->reset();
                 shared_reset = true;
+                warmupWallSeconds_ = elapsed();
             }
         }
 
@@ -264,6 +280,14 @@ CorunSimulator::run(const std::vector<CorunStream *> &streams)
             --live;
         }
     }
+    // Every live stream ended before its warmup: the whole run was
+    // warmup (matching single-core too-short-trace semantics).
+    if (!shared_reset) {
+        warmupWallSeconds_ = elapsed();
+        measureWallSeconds_ = 0.0;
+    } else {
+        measureWallSeconds_ = elapsed() - warmupWallSeconds_;
+    }
 }
 
 CorunResult
@@ -278,8 +302,14 @@ CorunSimulator::result() const
     llc_->exportDynamicMetrics(r.extraMetrics, "llc");
     if (profiler_)
         profiler_->exportMetrics(r.extraMetrics, "profile");
+    r.warmupWallSeconds = warmupWallSeconds_;
+    r.measureWallSeconds = measureWallSeconds_;
     for (std::size_t i = 0; i < sims_.size(); ++i) {
         r.cores.push_back(sims_[i]->result());
+        // Per-core warmup wall time (this core's own boundary), so the
+        // speedup of functional warmup is observable per tenant.
+        r.cores.back().extraMetrics.setGauge(
+            "sim.warmup_wall_seconds", sims_[i]->warmupWallSeconds());
         r.llcPerCore.push_back(
             llc_->coreStats(static_cast<unsigned>(i)));
     }

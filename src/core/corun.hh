@@ -164,6 +164,12 @@ struct CorunResult
     /** Shared-LLC policy/prefetcher internals ("llc.policy.*"). */
     MetricsRegistry extraMetrics;
     std::uint32_t llcWaysPerCore = 0;
+    /** Wall seconds from run start to the all-cores-warm barrier (the
+     *  whole run if every stream ended before warming). */
+    double warmupWallSeconds = 0.0;
+    /** Wall seconds from that barrier to the end of run() (0 if the
+     *  barrier never opened). */
+    double measureWallSeconds = 0.0;
 
     /** Sum of per-core IPCs (the raw throughput summary). */
     double ipcSum() const;
@@ -208,6 +214,12 @@ class CorunSimulator
     Cache &llc() { return *llc_; }
     DramModel &dram() { return *dram_; }
 
+    /** Wall seconds of the warmup phase of the last run(). */
+    double warmupWallSeconds() const { return warmupWallSeconds_; }
+
+    /** Wall seconds of the measurement phase of the last run(). */
+    double measureWallSeconds() const { return measureWallSeconds_; }
+
   private:
     CorunConfig cfg;
     std::unique_ptr<DramModel> dram_;
@@ -218,6 +230,8 @@ class CorunSimulator
      *  a 1-core profiled co-run stays byte-identical to `run`. */
     std::unique_ptr<OnlineProfiler> profiler_;
     std::vector<std::unique_ptr<Simulator>> sims_;
+    double warmupWallSeconds_ = 0.0;
+    double measureWallSeconds_ = 0.0;
 };
 
 } // namespace cachescope

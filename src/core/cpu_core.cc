@@ -77,6 +77,41 @@ CpuCore::resetStats()
 }
 
 void
+CpuCore::onInstructionFunctional(const TraceRecord &rec)
+{
+    // Same architectural access sequence as onInstruction() — the L1I
+    // fetch-block filter and the L1D data access — issued at the
+    // current dispatch cycle with all timing results discarded. The
+    // hierarchy sees byte-identical (addr, pc, type) streams in both
+    // modes, so every cache counter over a later measured window is
+    // bit-identical regardless of which mode warmed up.
+    if (cfg.simulateFetch) {
+        const Pc block = rec.pc >> 6;
+        if (block != lastFetchBlock) {
+            hier.fetch(rec.pc, dispatchCycle);
+            lastFetchBlock = block;
+        }
+    }
+    switch (rec.kind) {
+      case InstKind::Load:
+        hier.load(rec.addr, rec.pc, dispatchCycle);
+        ++stats_.loads;
+        break;
+      case InstKind::Store:
+        hier.store(rec.addr, rec.pc, dispatchCycle);
+        ++stats_.stores;
+        break;
+      case InstKind::Branch:
+        ++stats_.branches;
+        break;
+      case InstKind::Alu:
+      default:
+        break;
+    }
+    ++stats_.instructions;
+}
+
+void
 CpuCore::onInstruction(const TraceRecord &rec)
 {
     // --- Dispatch ------------------------------------------------------

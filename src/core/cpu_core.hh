@@ -87,6 +87,19 @@ class CpuCore : public InstructionSink
 
     void onInstruction(const TraceRecord &rec) override;
 
+    /**
+     * Functional (timing-free) step: drive the hierarchy with this
+     * instruction's architectural accesses — one L1I fetch per new
+     * fetch block and the load/store data access — without the
+     * dispatch/ROB/MSHR/retire machinery. Cache tags, replacement
+     * metadata and prefetcher state evolve exactly as under
+     * onInstruction(); no cycle advances and no MSHR is occupied.
+     * The fetch-block filter state is shared with the timed path, so
+     * switching modes at the warmup boundary is seamless. Used by the
+     * simulator's functional warmup mode.
+     */
+    void onInstructionFunctional(const TraceRecord &rec);
+
     const CoreStats &stats() const { return stats_; }
     const CoreConfig &config() const { return cfg; }
 

@@ -97,6 +97,22 @@ class CacheHierarchy
      */
     void resetStats();
 
+    /**
+     * Toggle functional (timing-free) warmup on the DRAM-adjacent
+     * cache: while on, LLC misses skip the DRAM bank queues and return
+     * immediately; every architectural update (tags, replacement
+     * metadata, prefetcher and predictor state) proceeds exactly as in
+     * timed mode. In the shared-LLC arrangement this is a no-op — the
+     * LLC belongs to the co-run driver, which owns the flag and clears
+     * it at its all-cores-warm barrier.
+     */
+    void
+    setFunctionalMode(bool on)
+    {
+        if (llcCache)
+            llcCache->setFunctionalMode(on);
+    }
+
   private:
     void build(const HierarchyConfig &config,
                std::unique_ptr<ReplacementPolicy> llc_policy);

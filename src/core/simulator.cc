@@ -17,6 +17,17 @@ SimConfig::validate() const
     CS_TRY(hierarchy.l1d.validate());
     CS_TRY(hierarchy.l2.validate());
     CS_TRY(hierarchy.llc.validate());
+    // The budget check in onInstruction compares consumed against
+    // warmup + measure; if that sum wraps, the budget is never reached
+    // and a "bounded" run silently consumes the whole trace.
+    if (measureInstructions != 0 &&
+        warmupInstructions > ~InstCount{0} - measureInstructions) {
+        return invalidArgumentError(
+            "warmup %llu + measure %llu instructions overflows the "
+            "instruction counter",
+            static_cast<unsigned long long>(warmupInstructions),
+            static_cast<unsigned long long>(measureInstructions));
+    }
     return Status();
 }
 
@@ -72,6 +83,7 @@ Simulator::Simulator(const SimConfig &config)
     : cfg(config), hier(config.hierarchy), cpu(config.core, hier)
 {
     maybeAttachProfiler();
+    beginFunctionalWarmup();
 }
 
 Simulator::Simulator(const SimConfig &config,
@@ -80,6 +92,7 @@ Simulator::Simulator(const SimConfig &config,
       cpu(config.core, hier)
 {
     maybeAttachProfiler();
+    beginFunctionalWarmup();
 }
 
 Simulator::Simulator(const SimConfig &config, Cache *shared_llc,
@@ -88,7 +101,49 @@ Simulator::Simulator(const SimConfig &config, Cache *shared_llc,
       cpu(config.core, hier)
 {
     // Shared-LLC arrangement: the co-run driver owns the LLC and
-    // attaches (and resets) the one shared profiler itself.
+    // attaches (and resets) the one shared profiler itself; likewise
+    // the shared LLC's functional-mode flag (cleared at the driver's
+    // all-cores-warm barrier, not at this core's own boundary —
+    // beginFunctionalWarmup's hierarchy call is a no-op here).
+    beginFunctionalWarmup();
+}
+
+void
+Simulator::beginFunctionalWarmup()
+{
+    functional_ = cfg.warmupMode == WarmupMode::Functional &&
+                  cfg.warmupInstructions > 0;
+    if (functional_)
+        hier.setFunctionalMode(true);
+}
+
+void
+Simulator::forceFunctional()
+{
+    functional_ = true;
+    forcedFunctional_ = true;
+    hier.setFunctionalMode(true);
+}
+
+double
+Simulator::warmupWallSeconds() const
+{
+    if (!sawInstruction_)
+        return 0.0;
+    const auto end =
+        warmupDone ? warmupEndedAt_ : std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - firstInstructionAt_)
+        .count();
+}
+
+double
+Simulator::measureWallSeconds() const
+{
+    if (!warmupDone)
+        return 0.0;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - warmupEndedAt_)
+        .count();
 }
 
 void
@@ -120,6 +175,10 @@ Simulator::onInstruction(const TraceRecord &rec)
     // loop (one mask + predictable branch when idle), frequent enough
     // that deadlines and ^C are observed promptly.
     if ((consumed & (kCancelPollInterval - 1)) == 0) [[unlikely]] {
+        if (!sawInstruction_) {
+            sawInstruction_ = true;
+            firstInstructionAt_ = std::chrono::steady_clock::now();
+        }
         if (cfg.cancel && cfg.cancel->cancelled())
             throw CancelledError(cfg.cancel->reason());
         if (failpoint::anyArmed())
@@ -128,13 +187,26 @@ Simulator::onInstruction(const TraceRecord &rec)
 
     if (!warmupDone && consumed >= cfg.warmupInstructions) {
         warmupDone = true;
+        warmupEndedAt_ = std::chrono::steady_clock::now();
+        // Hand over from the functional to the sealed timed path. The
+        // architectural state carried across the boundary (tags,
+        // replacement metadata, prefetcher and predictor state) is
+        // exactly what timed warmup would have built; timing state
+        // (ROB, MSHRs, DRAM bank queues) starts cold.
+        if (functional_ && !forcedFunctional_) {
+            functional_ = false;
+            hier.setFunctionalMode(false);
+        }
         hier.resetStats();
         cpu.resetStats();
         if (profiler_)
             profiler_->reset();
     }
 
-    cpu.onInstruction(rec);
+    if (functional_)
+        cpu.onInstructionFunctional(rec);
+    else
+        cpu.onInstruction(rec);
     ++consumed;
     if (warmupDone && cfg.measureInstructions != 0 &&
         consumed >= cfg.warmupInstructions + cfg.measureInstructions) {

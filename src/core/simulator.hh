@@ -7,6 +7,7 @@
 #ifndef CACHESCOPE_CORE_SIMULATOR_HH
 #define CACHESCOPE_CORE_SIMULATOR_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -20,6 +21,27 @@
 
 namespace cachescope {
 
+/**
+ * How the warmup window is simulated.
+ *
+ * Timed (the default) drives warmup through the full ROB/MSHR core
+ * model and DRAM bank queues, exactly like measurement. Functional
+ * bypasses all timing state until inMeasurement(): instructions skip
+ * the issue/retire loop and the hierarchy is driven with
+ * architectural-state-only accesses — tags, replacement metadata,
+ * predictor training and prefetcher state update exactly as in timed
+ * mode, while DRAM is skipped entirely. The measured window always
+ * runs the sealed timed path; the only fidelity loss is that timing
+ * state (ROB, MSHRs, DRAM bank queues) starts cold at the boundary.
+ * Cache and core counters over the measured window are bit-identical
+ * between the two modes.
+ */
+enum class WarmupMode : std::uint8_t
+{
+    Timed = 0,
+    Functional = 1,
+};
+
 /** Full simulation configuration. */
 struct SimConfig
 {
@@ -29,6 +51,8 @@ struct SimConfig
     InstCount warmupInstructions = 0;
     /** Measured instructions after warmup; 0 = until the trace ends. */
     InstCount measureInstructions = 0;
+    /** Fast-path selector for the warmup window (default: timed). */
+    WarmupMode warmupMode = WarmupMode::Timed;
     /**
      * Online PC/address-correlation profiler attached to the LLC's
      * demand stream (off by default; zero hot-path cost when off
@@ -46,9 +70,11 @@ struct SimConfig
 
     /**
      * Validate every cache level's geometry plus its replacement-policy
-     * and prefetcher names. Run this on user-assembled configurations
-     * before constructing a Simulator: construction fatal()s on the
-     * same conditions, whereas validate() reports them recoverably.
+     * and prefetcher names, and reject a warmup + measurement window
+     * that overflows the instruction counter. Run this on
+     * user-assembled configurations before constructing a Simulator:
+     * construction fatal()s on the same conditions, whereas validate()
+     * reports them recoverably.
      */
     Status validate() const;
 };
@@ -140,9 +166,32 @@ class Simulator : public InstructionSink
     /** The attached LLC profiler, or null (off, or co-run core). */
     const OnlineProfiler *profiler() const { return profiler_.get(); }
 
+    /**
+     * Keep the functional fast path active for the whole run instead
+     * of switching to the timed path at the warmup boundary. Used for
+     * runs whose output is timing-independent — Belady's first pass
+     * only records the LLC demand stream, which the functional path
+     * reproduces exactly. Timing results (cycles, IPC, DRAM stats) are
+     * meaningless after this call.
+     */
+    void forceFunctional();
+
+    /**
+     * Wall seconds spent before the warmup boundary (from the first
+     * instruction to the boundary; everything so far if the boundary
+     * has not been crossed). 0 before the first instruction.
+     */
+    double warmupWallSeconds() const;
+
+    /** Wall seconds since the warmup boundary (0 until crossed). */
+    double measureWallSeconds() const;
+
   private:
     /** Attach the profiler to the owned LLC when cfg.profile asks. */
     void maybeAttachProfiler();
+
+    /** Arm the functional path when the config asks for it (ctors). */
+    void beginFunctionalWarmup();
 
     SimConfig cfg;
     CacheHierarchy hier;
@@ -151,6 +200,13 @@ class Simulator : public InstructionSink
     InstCount consumed = 0;
     bool warmupDone = false;
     bool budgetExhausted = false;
+    /** True while instructions take the functional (timing-free) path. */
+    bool functional_ = false;
+    /** forceFunctional(): never hand over to the timed path. */
+    bool forcedFunctional_ = false;
+    std::chrono::steady_clock::time_point firstInstructionAt_{};
+    std::chrono::steady_clock::time_point warmupEndedAt_{};
+    bool sawInstruction_ = false;
 };
 
 } // namespace cachescope

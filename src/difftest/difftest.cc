@@ -5,7 +5,11 @@
 
 #include "difftest/difftest.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <set>
 
@@ -31,23 +35,45 @@ struct PolicyCoverage
 {
     const char *policy;
     CheckKind kind;
+    /**
+     * Sampling-accuracy budget multiplier. > 0 marks a policy whose
+     * replacement state is strictly per-set (a set's victim choices
+     * depend only on the accesses that set saw): for those, a sampled
+     * run must reproduce the full run *restricted to the sampled
+     * sets* bit-exactly — sampling is a pure set filter — and the
+     * scaled estimate must additionally agree with the full run
+     * within the base budget times this multiplier, slackened by the
+     * true (full-run population) sampling standard error. 0 marks a
+     * policy whose state couples sets globally — set-dueling PSEL
+     * counters, PC-indexed predictor tables, BIP/BRRIP's shared
+     * bimodal fill counter, the random policy's single RNG stream —
+     * where filtering the stream changes the surviving sets' own
+     * behaviour (training dilution: the textbook caveat of sampled
+     * simulation, observed at 30%+ relative error for glider on the
+     * tiny adversarial difftest geometry). Those policies get the
+     * exact structural checks only — still fatal for scaling bugs
+     * like a forgotten x-rate — and their statistical accuracy is
+     * enforced on the realistic LLC geometry by the fastsim property
+     * tests instead.
+     */
+    double samplingSlack;
 };
 
 constexpr PolicyCoverage kCoverage[] = {
-    {"lru", CheckKind::ExactModel},
-    {"srrip", CheckKind::ExactModel},
-    {"fifo", CheckKind::DominanceOnly},
-    {"random", CheckKind::DominanceOnly},
-    {"nru", CheckKind::DominanceOnly},
-    {"plru", CheckKind::DominanceOnly},
-    {"bip", CheckKind::DominanceOnly},
-    {"dip", CheckKind::DominanceOnly},
-    {"brrip", CheckKind::DominanceOnly},
-    {"drrip", CheckKind::DominanceOnly},
-    {"ship", CheckKind::DominanceOnly},
-    {"hawkeye", CheckKind::DominanceOnly},
-    {"glider", CheckKind::DominanceOnly},
-    {"mpppb", CheckKind::DominanceOnly},
+    {"lru", CheckKind::ExactModel, 1.0},
+    {"srrip", CheckKind::ExactModel, 1.0},
+    {"fifo", CheckKind::DominanceOnly, 1.0},
+    {"random", CheckKind::DominanceOnly, 0.0},
+    {"nru", CheckKind::DominanceOnly, 1.0},
+    {"plru", CheckKind::DominanceOnly, 1.0},
+    {"bip", CheckKind::DominanceOnly, 0.0},
+    {"dip", CheckKind::DominanceOnly, 0.0},
+    {"brrip", CheckKind::DominanceOnly, 0.0},
+    {"drrip", CheckKind::DominanceOnly, 0.0},
+    {"ship", CheckKind::DominanceOnly, 0.0},
+    {"hawkeye", CheckKind::DominanceOnly, 0.0},
+    {"glider", CheckKind::DominanceOnly, 0.0},
+    {"mpppb", CheckKind::DominanceOnly, 0.0},
 };
 
 /** A bottomless MemoryLevel: every request returns after one cycle. */
@@ -190,7 +216,7 @@ stripNondeterministic(const MetricsRegistry &in)
             return path.size() >= n &&
                    path.compare(path.size() - n, n, suffix) == 0;
         };
-        if (ends_with(".wall_ms", 8) || ends_with(".wall_seconds", 13) ||
+        if (ends_with(".wall_ms", 8) || ends_with("wall_seconds", 12) ||
             ends_with(".throughput_mips", 16))
             continue;
         out.setGauge(path, value);
@@ -242,7 +268,7 @@ buildRunMatrixFor(const std::vector<std::string> &registered)
                 "registered; remove it from kCoverage in difftest.cc",
                 cov.policy);
         }
-        matrix.push_back({cov.policy, cov.kind});
+        matrix.push_back({cov.policy, cov.kind, cov.samplingSlack});
     }
     if (!live.empty()) {
         return internalError(
@@ -387,8 +413,16 @@ DifferentialDriver::checkTraceRoundTrip(
     const std::vector<TraceRecord> &stream, std::uint64_t seed,
     std::vector<DiffFailure> &out) const
 {
-    const std::string base = opts.scratchDir + "/difftest_rt_" +
-                             std::to_string(seed);
+    // Scratch names carry the pid and a per-process nonce besides the
+    // seed: concurrent drivers checking the same seed (ctest -j runs
+    // gtest cases of this binary in parallel) must not clobber or
+    // clean up each other's files.
+    static std::atomic<std::uint64_t> rt_nonce{0};
+    const std::string base =
+        opts.scratchDir + "/difftest_rt_" +
+        std::to_string(static_cast<long long>(::getpid())) + "_" +
+        std::to_string(rt_nonce.fetch_add(1)) + "_" +
+        std::to_string(seed);
     const std::string path_a = base + "_a.trace";
     const std::string path_b = base + "_b.trace";
 
@@ -632,6 +666,193 @@ DifferentialDriver::checkSweepEquality(const std::vector<TraceRecord> &stream,
     out.push_back(std::move(f));
 }
 
+void
+DifferentialDriver::checkSamplingAccuracy(const std::vector<TraceRecord> &mem,
+                                          const RunMatrixEntry &entry,
+                                          std::uint64_t seed,
+                                          std::vector<DiffFailure> &out) const
+{
+    const std::string &policy = entry.policy;
+    // slack 0 = globally-coupled policy state: restricting the stream
+    // to the sampled sets changes those sets' own behaviour (training
+    // dilution), so only the exact structural checks apply (see
+    // kCoverage).
+    const bool gross = entry.samplingSlack <= 0.0;
+    const double budget = opts.samplingErrorBudget * entry.samplingSlack;
+    const std::uint32_t block_bits = floorLog2(opts.geometry.blockBytes);
+    const std::vector<RefAccess> accs = refAccessesOf(mem, block_bits);
+    const std::uint32_t num_sets = opts.geometry.numSets;
+
+    // Full (every-set) run, tallying per-set demand misses through the
+    // event hook. Exactly one event fires per demand access — hit,
+    // bypass, or fill — and a bypassed access counts as a miss, which
+    // matches the stats counters (both increment before the bypass
+    // branch). The tallies are the *population* behind the sampled
+    // estimator: they feed both the exact restriction check and the
+    // true sampling standard error below.
+    std::vector<std::uint64_t> full_set_misses(num_sets, 0);
+    FlatLevel full_flat;
+    Cache full_cache(bareConfig(opts.geometry, policy), &full_flat);
+    full_cache.setEventHook([&](const Cache::AccessEvent &e) {
+        if ((e.type == AccessType::Load || e.type == AccessType::Store) &&
+            !e.hit) {
+            ++full_set_misses[e.set];
+        }
+    });
+    for (const RefAccess &acc : accs) {
+        full_cache.access(acc.block << block_bits, acc.pc, acc.type,
+                          /*now=*/0);
+    }
+    const CacheStats full = full_cache.stats();
+
+    // Sampled run.
+    FlatLevel sampled_flat;
+    CacheConfig sampled_cfg = bareConfig(opts.geometry, policy);
+    sampled_cfg.sampleSets = opts.samplingRate;
+    Cache sampled_cache(sampled_cfg, &sampled_flat);
+    for (const RefAccess &acc : accs) {
+        sampled_cache.access(acc.block << block_bits, acc.pc, acc.type,
+                             /*now=*/0);
+    }
+    MetricsRegistry dyn;
+    sampled_cache.exportDynamicMetrics(dyn, "c");
+    const CacheStats raw = sampled_cache.stats();
+
+    // Independent per-set recount of the demand stream against the
+    // cache's own published set selection: the restriction of the full
+    // run to the sampled subset, computed without trusting the sampled
+    // run's bookkeeping.
+    const std::uint64_t set_mask = num_sets - 1;
+    std::vector<std::uint64_t> per_set_accs(num_sets, 0);
+    for (const RefAccess &acc : accs)
+        ++per_set_accs[static_cast<std::size_t>(acc.block & set_mask)];
+    std::uint64_t in_sample_accs = 0;
+    std::uint64_t in_sample_misses = 0;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+        if (sampled_cache.setIsSampled(s)) {
+            in_sample_accs += per_set_accs[s];
+            in_sample_misses += full_set_misses[s];
+        }
+    }
+    const std::uint64_t expected_accesses =
+        in_sample_accs * opts.samplingRate;
+
+    auto fail = [&](const std::string &what, double expected,
+                    double actual, double tolerance) {
+        DiffFailure f;
+        f.seed = seed;
+        f.kind = kindForSeed(seed);
+        f.invariant = "sampling_accuracy:" + policy;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s: sampled estimate %.6g vs full %.6g "
+                      "(tolerance %.6g, 1-in-%u sets)",
+                      what.c_str(), actual, expected, tolerance,
+                      opts.samplingRate);
+        f.detail = buf;
+        f.memoryAccesses = mem.size();
+        f.expected.setGauge("full." + what, expected);
+        f.actual = dyn;
+        full.exportMetrics(f.expected, "full");
+        raw.exportMetrics(f.actual, "raw");
+        out.push_back(std::move(f));
+    };
+
+    // Scaled counters are raw * rate by construction; their being >=
+    // the raw values is the check_bench_json contract, re-checked here
+    // where a violation is cheapest to localize.
+    const double rate = static_cast<double>(opts.samplingRate);
+    const double est_misses = static_cast<double>(
+        dyn.counter("c.sampled.demand_misses"));
+    const double raw_misses = static_cast<double>(raw.demandMisses());
+    if (est_misses < raw_misses) {
+        fail("scaled_ge_raw", raw_misses, est_misses, 0.0);
+        return;
+    }
+
+    const double se = dyn.gauge("c.sampled.relative_stderr");
+    if (!std::isfinite(se)) {
+        fail("relative_stderr_finite", 0.0, se, 0.0);
+        return;
+    }
+
+    // The access-count estimate is policy-independent (every demand
+    // access reaches the bare cache), so it is checked *exactly*
+    // against the independent recount — any set-selection or scaling
+    // bug trips this for every policy, with zero statistical slack.
+    const double est_accesses = static_cast<double>(
+        dyn.counter("c.sampled.demand_accesses"));
+    if (est_accesses != static_cast<double>(expected_accesses)) {
+        fail("demand_accesses_exact",
+             static_cast<double>(expected_accesses), est_accesses, 0.0);
+        return;
+    }
+    if (est_misses > est_accesses) {
+        fail("misses_le_accesses", est_accesses, est_misses, 0.0);
+        return;
+    }
+    const double mr_est = dyn.gauge("c.sampled.demand_miss_rate");
+    if (!(mr_est >= 0.0 && mr_est <= 1.0)) {
+        fail("miss_rate_in_unit_range", 0.0, mr_est, 1.0);
+        return;
+    }
+    // The exported miss rate must be the quotient of the exported
+    // counts (exact: the x-rate scaling is a power of two, so it
+    // cancels without rounding) — catches a wrong-denominator export.
+    if (est_accesses > 0.0 &&
+        std::abs(mr_est - est_misses / est_accesses) > 1e-12) {
+        fail("miss_rate_consistent", est_misses / est_accesses, mr_est,
+             1e-12);
+        return;
+    }
+    if (gross)
+        return;
+
+    // The load-bearing invariant for per-set policies: sampling must
+    // be a *pure filter*. The sampled run's raw miss count must equal
+    // the full run's misses restricted to the sampled sets, exactly —
+    // a set's victim choices depend only on its own access
+    // subsequence, which sampling preserves. Any cross-set leak in the
+    // skip path (touching the policy, the tag store, or another set's
+    // counters) breaks this equality with zero statistical slack.
+    if (raw.demandMisses() != in_sample_misses) {
+        fail("restriction_exact", static_cast<double>(in_sample_misses),
+             raw_misses, 0.0);
+        return;
+    }
+
+    // Statistical agreement of the scaled estimate with the full run.
+    // The budget is slackened by the estimator's *true* standard error
+    // — computed from the full run's per-set miss distribution, the
+    // actual population behind the subset — not the sample-derived
+    // c.sampled.relative_stderr, which cannot see unsampled hot sets
+    // on concentrated streams (a pointer chase landing 3/4 of its
+    // misses outside the subset reports a tiny SE around a wildly
+    // wrong estimate). ~5 sigma keeps arbitrary fuzz seeds quiet; the
+    // 3 x rate floor covers streams whose subset sees only a handful
+    // of misses.
+    const double full_misses = static_cast<double>(full.demandMisses());
+    const double n_sampled =
+        static_cast<double>(sampled_cache.sampledSetCount());
+    const double mean = full_misses / num_sets;
+    double var = 0.0;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+        const double d = static_cast<double>(full_set_misses[s]) - mean;
+        var += d * d;
+    }
+    var /= std::max(num_sets - 1.0, 1.0);
+    const double se_true =
+        mean > 0.0 && n_sampled > 0.0
+            ? std::sqrt(std::max(1.0 - n_sampled / num_sets, 0.0) * var /
+                        n_sampled) /
+                  mean
+            : 0.0;
+    const double miss_tol = std::max(
+        {budget * full_misses, 5.0 * se_true * full_misses, 3.0 * rate});
+    if (std::abs(est_misses - full_misses) > miss_tol)
+        fail("demand_misses", full_misses, est_misses, miss_tol);
+}
+
 Expected<std::vector<DiffFailure>>
 DifferentialDriver::checkStream(const std::vector<TraceRecord> &stream,
                                 std::uint64_t seed)
@@ -643,6 +864,8 @@ DifferentialDriver::checkStream(const std::vector<TraceRecord> &stream,
         if (entry.kind == CheckKind::ExactModel)
             checkModelAgreement(mem, entry.policy, seed, failures);
         checkOptDominance(mem, entry.policy, seed, failures);
+        if (opts.checkSampling && opts.samplingRate > 1)
+            checkSamplingAccuracy(mem, entry, seed, failures);
     }
     if (!opts.scratchDir.empty())
         CS_TRY(checkTraceRoundTrip(stream, seed, failures));
@@ -667,15 +890,22 @@ DifferentialDriver::failsOn(const std::vector<TraceRecord> &stream,
     const std::string family = invariantFamily(invariant);
     std::vector<DiffFailure> failures;
 
-    if (family == "model_agreement" || family == "opt_dominance") {
+    if (family == "model_agreement" || family == "opt_dominance" ||
+        family == "sampling_accuracy") {
         const std::string policy = invariant.substr(family.size() + 1);
         const std::vector<TraceRecord> mem = memoryRecordsOf(stream);
         if (mem.empty())
             return false;
-        if (family == "model_agreement")
+        if (family == "model_agreement") {
             checkModelAgreement(mem, policy, seed, failures);
-        else
+        } else if (family == "opt_dominance") {
             checkOptDominance(mem, policy, seed, failures);
+        } else {
+            for (const RunMatrixEntry &entry : matrix) {
+                if (entry.policy == policy)
+                    checkSamplingAccuracy(mem, entry, seed, failures);
+            }
+        }
         return !failures.empty();
     }
     if (family == "conservation") {

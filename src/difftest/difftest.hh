@@ -5,7 +5,7 @@
  * Ties the pieces of the difftest subsystem together: for a seed it
  * generates an adversarial stream (stream_fuzzer), replays it through
  * both the production Cache and the reference model (reference_cache),
- * and checks five invariant families:
+ * and checks six invariant families:
  *
  *  1. model agreement — per-access hit/miss/way/victim equality between
  *     core/cache.cc and the reference model, for every policy with a
@@ -19,7 +19,14 @@
  *     of a type equal L2 misses of that type);
  *  5. sweep equality — a serial and a parallel SuiteRunner sweep over
  *     the stream produce byte-identical metric trees (modulo wall-clock
- *     gauges).
+ *     gauges);
+ *  6. sampling accuracy — for every registered policy, 1-in-N LLC
+ *     set-sampling obeys exact structural laws (scaled counters,
+ *     published set selection); for strictly per-set policies the
+ *     sampled run additionally equals the full run restricted to the
+ *     sampled sets bit-exactly, and its scaled estimate agrees with
+ *     the full run within a configurable relative-error budget
+ *     slackened by the true (population) sampling standard error.
  *
  * A violation is reported as a DiffFailure carrying the expected and
  * actual metric trees; minimize() shrinks the triggering stream by
@@ -54,6 +61,12 @@ struct RunMatrixEntry
 {
     std::string policy;
     CheckKind kind = CheckKind::DominanceOnly;
+    /** Sampling-accuracy budget multiplier. > 0: strictly per-set
+     *  state, held to exact restriction equality plus the statistical
+     *  bound (budget x this). 0: globally-coupled state (PSEL,
+     *  predictor tables, shared fill counters, a single RNG stream),
+     *  structural checks only. */
+    double samplingSlack = 1.0;
 };
 
 /**
@@ -107,6 +120,31 @@ struct DiffOptions
     bool checkSweep = true;
     /** Run the full-Simulator metrics conservation family. */
     bool checkConservation = true;
+    /**
+     * Run the sampled-vs-full accuracy family: every registered policy
+     * is run twice over the stream on a bare cache — exact, and with
+     * 1-in-samplingRate LLC set-sampling. Structural invariants hold
+     * exactly for every policy (scaled counters = raw x rate, the
+     * access-count estimate equals an independent recount over the
+     * published set selection, miss rate = misses/accesses in [0,1],
+     * finite stderr). Policies whose replacement state is strictly
+     * per-set must additionally (a) reproduce the full run restricted
+     * to the sampled sets bit-exactly — sampling is a pure set filter
+     * — and (b) agree statistically with the full run within
+     * samplingErrorBudget, slackened by the estimator's true standard
+     * error from the full run's per-set miss distribution and a
+     * small-count floor. Globally-coupled policies (set dueling, PC
+     * predictors, shared bimodal counters, RNG streams) are exempt
+     * from (a) and (b) — filtering the stream changes the surviving
+     * sets' behaviour (training dilution) — and their accuracy is
+     * instead held on the realistic LLC geometry by the fastsim tests.
+     */
+    bool checkSampling = true;
+    /** Relative-error budget of the sampling accuracy family. */
+    double samplingErrorBudget = 0.02;
+    /** Set-sampling rate the accuracy family simulates with (a power
+     *  of two dividing geometry.numSets; 1 disables the family). */
+    std::uint32_t samplingRate = 4;
     /**
      * Test-only bug injection: replace the simulator-side LRU with an
      * off-by-one victim pick, which the model-agreement family must
@@ -219,6 +257,10 @@ class DifferentialDriver
     void checkSweepEquality(const std::vector<TraceRecord> &stream,
                             std::uint64_t seed,
                             std::vector<DiffFailure> &out) const;
+    void checkSamplingAccuracy(const std::vector<TraceRecord> &mem,
+                               const RunMatrixEntry &entry,
+                               std::uint64_t seed,
+                               std::vector<DiffFailure> &out) const;
 
     DiffOptions opts;
     std::vector<RunMatrixEntry> matrix;

@@ -84,8 +84,15 @@ CorunReport::exportMetrics(MetricsRegistry &metrics,
     const std::string p = prefix.empty() ? "" : prefix + ".";
     // Same timing gauges runOne() emits, so the 1-core co-run tree has
     // exactly the single-core tree's shape (values differ only by
-    // wall-clock noise, which the identity test strips).
+    // wall-clock noise, which the identity test strips). As in runOne,
+    // everything outside the measured phase — tenant capture included —
+    // lands on the warmup side of the split.
+    const double wall = std::max(wallSeconds, 0.0);
+    const double measure =
+        std::clamp(result.measureWallSeconds, 0.0, wall);
     metrics.setGauge(p + "sim.wall_seconds", wallSeconds);
+    metrics.setGauge(p + "sim.warmup_wall_seconds", wall - measure);
+    metrics.setGauge(p + "sim.measure_wall_seconds", measure);
     metrics.setGauge(p + "sim.throughput_mips", throughputMips);
     if (soloIpc.empty() || result.cores.size() < 2)
         return;
@@ -159,6 +166,19 @@ runCorun(const std::vector<CorunTenant> &tenants,
     for (std::size_t i = 0; i < n; ++i) {
         if (file_streams[i] != nullptr)
             CS_TRY(file_streams[i]->status());
+    }
+
+    // A tenant whose stream ended inside its warmup produced no
+    // measured traffic at all; worth a warning, not an error.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (config.coreWarmups[i] > 0 && !sim.core(i).inMeasurement()) {
+            warn("corun tenant '%s' ended after %llu of %llu warmup "
+                 "instructions; its measured window is empty",
+                 tenants[i].name().c_str(),
+                 static_cast<unsigned long long>(
+                     sim.core(i).instructionsConsumed()),
+                 static_cast<unsigned long long>(config.coreWarmups[i]));
+        }
     }
 
     CorunReport report;

@@ -29,14 +29,18 @@ namespace {
 /**
  * Record how fast the simulator itself ran: sim.wall_seconds and
  * sim.throughput_mips (instructions pushed through the pipeline,
- * warmup included, per wall-clock second). steady_clock only, so the
- * numbers survive clock adjustments mid-campaign. Both gauges are
- * nondeterministic by nature and are stripped by the determinism
- * tooling (difftest byte-identity, golden metric-tree tests).
+ * warmup included, per wall-clock second), split into
+ * sim.warmup_wall_seconds + sim.measure_wall_seconds so the functional
+ * warmup speedup is directly observable in every BENCH JSON.
+ * steady_clock only, so the numbers survive clock adjustments
+ * mid-campaign. All of these gauges are nondeterministic by nature and
+ * are stripped by the determinism tooling (difftest byte-identity,
+ * golden metric-tree tests).
  */
 void
 setThroughputGauges(SimResult &result, InstCount instructions,
-                    std::chrono::steady_clock::time_point start)
+                    std::chrono::steady_clock::time_point start,
+                    double measure_seconds)
 {
     const double secs = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
@@ -48,10 +52,31 @@ setThroughputGauges(SimResult &result, InstCount instructions,
     // baseline comparisons downstream (check_bench_json rejects both).
     constexpr double kMinSeconds = 1e-9;
     const double divisor = secs > kMinSeconds ? secs : kMinSeconds;
+    const double measure =
+        std::clamp(measure_seconds, 0.0, secs < 0.0 ? 0.0 : secs);
     result.extraMetrics.setGauge("sim.wall_seconds", secs);
+    result.extraMetrics.setGauge("sim.warmup_wall_seconds",
+                                 secs - measure);
+    result.extraMetrics.setGauge("sim.measure_wall_seconds", measure);
     result.extraMetrics.setGauge(
         "sim.throughput_mips",
         static_cast<double>(instructions) / divisor / 1e6);
+}
+
+/** warn() once when a run's input dried up inside its warmup window —
+ *  a too-short trace otherwise yields an all-warmup, zero-measurement
+ *  result that looks like a clean (but empty) run. */
+void
+warnIfAllWarmup(const Simulator &sim, const SimConfig &cfg,
+                const std::string &what)
+{
+    if (cfg.warmupInstructions == 0 || sim.inMeasurement())
+        return;
+    warn("%s ended after %llu of %llu warmup instructions; the "
+         "measured window is empty",
+         what.c_str(),
+         static_cast<unsigned long long>(sim.instructionsConsumed()),
+         static_cast<unsigned long long>(cfg.warmupInstructions));
 }
 
 } // anonymous namespace
@@ -66,7 +91,9 @@ runOne(Workload &workload, const SimConfig &config)
     Simulator sim(cfg);
     workload.run(sim);
     SimResult result = sim.result();
-    setThroughputGauges(result, sim.instructionsConsumed(), start);
+    warnIfAllWarmup(sim, cfg, "workload '" + workload.name() + "'");
+    setThroughputGauges(result, sim.instructionsConsumed(), start,
+                        sim.measureWallSeconds());
     return result;
 }
 
@@ -77,14 +104,24 @@ runBelady(Workload &workload, const SimConfig &base_config)
     SimConfig config = base_config;
     config.warmupInstructions =
         std::max(config.warmupInstructions, workload.warmupHint());
+    // Belady is incompatible with LLC set-sampling: the FutureOracle
+    // counts positions over the *full* recorded stream, and a sampled
+    // replay would consume oracle positions out of step. Force exact
+    // simulation for both passes; the fast-sweep preset still speeds
+    // pass 1 up via functional mode below.
+    config.hierarchy.llc.sampleSets = 1;
 
     // Pass 1: record the LLC demand stream. The stream is independent
     // of the LLC policy (the levels above are fixed), so any policy
-    // works for recording; use the configured one.
+    // works for recording; use the configured one. Only architectural
+    // state matters here — the recorded stream carries no timing — so
+    // the whole pass runs functionally when functional warmup is on.
     auto stream = std::make_shared<std::vector<Addr>>();
     InstCount pass1_instructions = 0;
     {
         Simulator sim(config);
+        if (config.warmupMode == WarmupMode::Functional)
+            sim.forceFunctional();
         sim.hierarchy().llc().setAccessHook(
             [&stream](Addr block, Pc, AccessType) {
                 stream->push_back(block);
@@ -102,9 +139,14 @@ runBelady(Workload &workload, const SimConfig &base_config)
     SimResult result = sim.result();
     result.llcPolicy = "belady";
     result.llcPolicyState.clear();
+    warnIfAllWarmup(sim, config,
+                    "belady replay of '" + workload.name() + "'");
     // Both passes count: the oracle's cost is real simulated work.
-    setThroughputGauges(
-        result, pass1_instructions + sim.instructionsConsumed(), start);
+    // Pass 1 is all bookkeeping for the oracle, so it lands on the
+    // warmup side of the wall-time split.
+    setThroughputGauges(result,
+                        pass1_instructions + sim.instructionsConsumed(),
+                        start, sim.measureWallSeconds());
     return result;
 }
 
@@ -165,6 +207,11 @@ SuiteRunner::runCell(Workload &workload, const std::string &policy,
 
     SimConfig config = base;
     config.cancel = &cell_token;
+    if (fastSweep_) {
+        config.warmupMode = WarmupMode::Functional;
+        if (config.hierarchy.llc.sampleSets == 1)
+            config.hierarchy.llc.sampleSets = 16;
+    }
     // "belady" is the offline oracle, injected rather than looked up in
     // the registry; validate the base configuration unchanged for it.
     const bool belady = policy == "belady";

@@ -78,6 +78,28 @@ ipc(std::uint64_t instructions, std::uint64_t cycles)
     return static_cast<double>(instructions) / static_cast<double>(cycles);
 }
 
+double
+sampledEstimateRelativeStderr(const std::vector<double> &sampled_counts,
+                              std::uint64_t population_sets)
+{
+    const std::size_t n = sampled_counts.size();
+    if (n < 2 || population_sets == 0)
+        return 0.0;
+    const double m = mean(sampled_counts);
+    if (m <= 0.0)
+        return 0.0;
+    double acc = 0.0;
+    for (double v : sampled_counts)
+        acc += (v - m) * (v - m);
+    // Sample (n-1) variance, finite-population correction, then the
+    // standard error of the scaled total relative to the estimate. The
+    // population factor cancels: rel = sqrt((1 - n/S) * s^2/n) / mean.
+    const double s2 = acc / static_cast<double>(n - 1);
+    const double fpc =
+        1.0 - static_cast<double>(n) / static_cast<double>(population_sets);
+    return std::sqrt(std::max(fpc, 0.0) * s2 / static_cast<double>(n)) / m;
+}
+
 void
 RunningStat::add(double v)
 {

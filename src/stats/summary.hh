@@ -37,6 +37,23 @@ double mpki(std::uint64_t misses, std::uint64_t instructions);
 double ipc(std::uint64_t instructions, std::uint64_t cycles);
 
 /**
+ * Relative standard error of a set-sampling estimate.
+ *
+ * Given per-set counts x_i observed on n sampled sets out of a
+ * population of @p population_sets, the full-stream total is estimated
+ * as T = population_sets * mean(x). Under sampling-without-replacement
+ * the estimator's variance is population^2 * (1 - n/population) * s^2/n
+ * (s^2 the sample variance), and this returns sqrt(Var)/T — the
+ * fraction of the estimate one standard error spans. 0 when the
+ * estimate is 0 or fewer than two sets were sampled (no variance
+ * information). This is the "sampling-error gauge" exported per cell
+ * with set-sampled simulations.
+ */
+double sampledEstimateRelativeStderr(
+    const std::vector<double> &sampled_counts,
+    std::uint64_t population_sets);
+
+/**
  * Streaming mean/min/max accumulator for values observed one at a time.
  */
 class RunningStat

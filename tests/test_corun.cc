@@ -89,7 +89,7 @@ stripTiming(const MetricsRegistry &in)
         out.setCounter(path, value);
     for (const auto &[path, value] : in.gauges()) {
         if (ends_with(path, ".wall_ms") ||
-            ends_with(path, ".wall_seconds") ||
+            ends_with(path, "wall_seconds") ||
             ends_with(path, ".throughput_mips"))
             continue;
         out.setGauge(path, value);
@@ -178,6 +178,16 @@ isTimingPath(const std::string &path)
     return ends_with(".cycles") || ends_with(".ipc");
 }
 
+/** True for host wall-clock gauges (sim.*wall_seconds, throughput):
+ *  nondeterministic by nature, so identical tenants only produce
+ *  *near* values — structure is checked, magnitudes are not. */
+bool
+isWallClockPath(const std::string &path)
+{
+    return path.find("wall_seconds") != std::string::npos ||
+           path.find("throughput_mips") != std::string::npos;
+}
+
 /**
  * Two cores fed identical streams over a way-partitioned LLC must
  * produce identical per-core *functional* metric subtrees: the
@@ -236,7 +246,9 @@ TEST(CorunDifftest, IdenticalTenantsProduceIdenticalSubtrees)
             ++core0_gauges;
             const auto twin = gauges.find("core1." + path.substr(6));
             ASSERT_NE(twin, gauges.end()) << path;
-            if (isTimingPath(path)) {
+            if (isWallClockPath(path)) {
+                // Existence-only: host time, not simulated behavior.
+            } else if (isTimingPath(path)) {
                 EXPECT_NEAR(twin->second, value, 0.02 * value) << path;
             } else {
                 EXPECT_DOUBLE_EQ(twin->second, value) << path;

@@ -101,7 +101,8 @@ goldenConfig()
 
 /**
  * Copy @p in minus wall-clock noise: timing gauges (.wall_ms,
- * .wall_seconds, .throughput_mips suffixes) and the cell wall-time
+ * wall_seconds — dotted or the warmup/measure _wall_seconds split —
+ * and .throughput_mips suffixes) and the cell wall-time
  * histogram. Everything else — every counter, every derived gauge,
  * every histogram — is simulated state and must be byte-stable.
  */
@@ -116,7 +117,7 @@ stripTiming(const MetricsRegistry &in)
     for (const auto &[path, value] : in.counters())
         out.setCounter(path, value);
     for (const auto &[path, value] : in.gauges()) {
-        if (ends_with(path, ".wall_ms") || ends_with(path, ".wall_seconds") ||
+        if (ends_with(path, ".wall_ms") || ends_with(path, "wall_seconds") ||
             ends_with(path, ".throughput_mips"))
             continue;
         out.setGauge(path, value);

@@ -239,6 +239,32 @@ configFrom(const Args &args, const std::string &policy)
         cfg.hierarchy.llc.sizeBytes = args.getU64("llc-kb", 1408) * 1024;
     }
     cfg.hierarchy.l2.prefetcher = args.get("prefetcher", "none");
+    // --warmup-mode functional skips core/DRAM timing until the warmup
+    // boundary (measured cache counters stay bit-identical to timed).
+    const std::string warmup_mode = args.get("warmup-mode", "timed");
+    if (warmup_mode == "functional")
+        cfg.warmupMode = WarmupMode::Functional;
+    else if (warmup_mode != "timed")
+        fatal("flag --warmup-mode: expected 'timed' or 'functional', "
+              "got '%s'", warmup_mode.c_str());
+    // --sample-sets N (or the paper-style "1/N" spelling): simulate a
+    // deterministic 1-in-N subset of LLC sets; estimates land under
+    // llc.sampled.*. Validation of N (power of two <= set count)
+    // happens in CacheConfig::validate.
+    if (args.has("sample-sets")) {
+        std::string spec = args.get("sample-sets", "1");
+        if (spec.rfind("1/", 0) == 0)
+            spec = spec.substr(2);
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(spec.c_str(), &end, 10);
+        if (end == spec.c_str() || *end != '\0' || n == 0 ||
+            n > (1ull << 31)) {
+            fatal("flag --sample-sets: expected N or 1/N with N in "
+                  "[1, 2^31], got '%s'",
+                  args.get("sample-sets", "1").c_str());
+        }
+        cfg.hierarchy.llc.sampleSets = static_cast<std::uint32_t>(n);
+    }
     // --profile (every set) or --profile N (1-in-N set sampling).
     // Parsed here so run, sweep, replay and corun all honour it.
     if (args.has("profile")) {
@@ -364,6 +390,9 @@ cmdSweep(const Args &args)
     SuiteRunner runner(configFrom(args, "lru"),
                        static_cast<unsigned>(args.getU64("jobs", 0)));
     runner.setRetries(static_cast<unsigned>(args.getU64("retries", 0)));
+    // --fast-sweep: functional warmup + 1/16 LLC set-sampling per cell
+    // (an explicit --sample-sets > 1 overrides the preset's 16).
+    runner.setFastSweep(args.has("fast-sweep"));
     runner.setCellTimeout(args.getSeconds("cell-timeout-s", 0.0));
     runner.setSweepDeadline(args.getSeconds("deadline-s", 0.0));
     runner.setCancelToken(&g_signalToken);
@@ -665,12 +694,24 @@ cmdReplay(const Args &args)
                  "(%.1f simulated MIPS)\n",
                  static_cast<unsigned long long>(replayed),
                  wall_ms / 1000.0, mips);
+    if (cfg.warmupInstructions > 0 && !sim.inMeasurement()) {
+        warn("trace '%s' ended after %llu of %llu warmup instructions; "
+             "the measured window is empty",
+             path.c_str(),
+             static_cast<unsigned long long>(sim.instructionsConsumed()),
+             static_cast<unsigned long long>(cfg.warmupInstructions));
+    }
     const SimResult r = sim.result();
     printSimResult(r, std::cout);
     MetricsRegistry metrics;
     r.exportMetrics(metrics);
     metrics.setCounter("replay.records", replayed);
-    metrics.setGauge("sim.wall_seconds", wall_ms / 1000.0);
+    const double secs = wall_ms / 1000.0;
+    const double measure =
+        std::min(std::max(sim.measureWallSeconds(), 0.0), secs);
+    metrics.setGauge("sim.wall_seconds", secs);
+    metrics.setGauge("sim.warmup_wall_seconds", secs - measure);
+    metrics.setGauge("sim.measure_wall_seconds", measure);
     metrics.setGauge("sim.throughput_mips", mips);
     printProfileSummary(metrics);
     return emitMetricsJson(args, "replay:" + args.get("policy", "lru"),
@@ -695,6 +736,13 @@ usage()
         "\n"
         "common flags: --scale N --degree N --seed N --uniform\n"
         "              --warmup N --measure N --llc-kb N\n"
+        "              --warmup-mode timed|functional (functional\n"
+        "               warms caches/predictors without core or DRAM\n"
+        "               timing; measured cache counters are identical,\n"
+        "               warmup wall time shrinks)\n"
+        "              --sample-sets N|1/N (simulate a deterministic\n"
+        "               1-in-N subset of LLC sets; scaled estimates\n"
+        "               and an error gauge land under llc.sampled.*)\n"
         "              --prefetcher none|next_line|stride|streamer\n"
         "              --profile [N] (attach the online PC/address-\n"
         "               correlation profiler to the LLC: per-PC\n"
@@ -710,6 +758,8 @@ usage()
         "              --no-tag (do not tag per-core address spaces;\n"
         "               identical tenants then share lines and PCs)\n"
         "sweep flags:  --jobs N --retries N --checkpoint FILE\n"
+        "              --fast-sweep (two-speed preset: functional\n"
+        "               warmup + 1/16 LLC set-sampling per cell)\n"
         "              (--checkpoint resumes an interrupted sweep,\n"
         "               skipping cells the journal says are complete)\n"
         "              --checkpoint-sync (fsync the journal after\n"

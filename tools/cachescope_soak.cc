@@ -319,7 +319,7 @@ stripNondeterministic(const MetricsRegistry &in)
 {
     auto is_wall = [](const std::string &path) {
         for (const char *suffix :
-             {".wall_ms", ".wall_seconds", ".throughput_mips"}) {
+             {".wall_ms", "wall_seconds", ".throughput_mips"}) {
             const std::size_t n = std::strlen(suffix);
             if (path.size() >= n &&
                 path.compare(path.size() - n, n, suffix) == 0)

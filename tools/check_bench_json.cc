@@ -5,12 +5,15 @@
  * schema invariants the perf-trajectory tooling relies on (non-empty
  * name, non-negative finite wall_ms, at least one counter).
  *
- * Beyond the envelope, two content invariants are enforced on every
+ * Beyond the envelope, content invariants are enforced on every
  * document: no gauge anywhere may be non-finite (an inf/nan gauge
- * means a divide-by-zero escaped the simulator), and co-run documents
+ * means a divide-by-zero escaped the simulator); co-run documents
  * (any subtree carrying a "corun.num_cores" counter) must export one
  * "core<i>." subtree per core whose per-core LLC attribution counters
- * sum exactly to the shared "llc." totals.
+ * sum exactly to the shared "llc." totals; and set-sampling subtrees
+ * (any "sampled.sample_rate" counter) must carry a sane subset size,
+ * scaled estimates no smaller than their raw sibling counters, and an
+ * estimated miss rate in [0, 1].
  *
  * With --baseline it additionally compares one gauge (default
  * sim.throughput_mips) against a committed baseline document and
@@ -132,6 +135,91 @@ contentProblems(const MetricsDocument &doc)
             (gap_trees == 0 || spec_trees == 0)) {
             complain("fig9_pc_corr needs profiled workloads in both "
                      "the gap. and spec_like. groups");
+        }
+    }
+
+    // Every "sampled.sample_rate" counter marks one LLC set-sampling
+    // subtree rooted at its prefix (emitted only when --sample-sets >
+    // 1); validate its schema: rate and subset size sane, every
+    // scaled estimate >= its raw sibling counter (the x-rate scaling
+    // can only grow a count, and the inequality survives the
+    // counter-summing "total." aggregation of sweep documents), and —
+    // where the tree carries gauges, which the counters-only "total."
+    // aggregates do not — the error gauge finite (globally enforced
+    // above) and the estimated miss rate a probability.
+    {
+        const auto &counters = doc.metrics.counters();
+        const auto &gauges = doc.metrics.gauges();
+        const std::string marker = "sampled.sample_rate";
+        for (const auto &[path, rate] : counters) {
+            if (path.size() < marker.size() ||
+                path.compare(path.size() - marker.size(), marker.size(),
+                             marker) != 0) {
+                continue;
+            }
+            const std::string prefix =
+                path.substr(0, path.size() - sizeof("sample_rate") + 1);
+            if (rate == 0)
+                complain("'" + path + "' must be >= 1");
+            const auto count_of = [&counters, &prefix,
+                                   &complain](const char *name) {
+                const auto it = counters.find(prefix + name);
+                if (it == counters.end()) {
+                    complain("sampled tree '" + prefix +
+                             "' lacks counter '" + name + "'");
+                    return std::uint64_t{0};
+                }
+                return it->second;
+            };
+            const std::uint64_t sets_total = count_of("sets_total");
+            const std::uint64_t sets_sampled = count_of("sets_sampled");
+            if (sets_sampled == 0 || sets_sampled > sets_total) {
+                complain("sampled tree '" + prefix +
+                         "': sets_sampled must be in [1, sets_total]");
+            }
+            // Raw siblings live one level up, in the cache's own
+            // stats tree: demand = load + store.
+            const std::string cache =
+                prefix.substr(0, prefix.size() - sizeof("sampled.") + 1);
+            const auto raw_demand = [&counters,
+                                     &cache](const char *family) {
+                std::uint64_t sum = 0;
+                for (const char *type : {"load", "store"}) {
+                    const auto it = counters.find(cache + family + "." +
+                                                  std::string(type));
+                    if (it != counters.end())
+                        sum += it->second;
+                }
+                return sum;
+            };
+            const std::uint64_t raw_hits = raw_demand("hits");
+            const std::uint64_t raw_misses = raw_demand("misses");
+            if (count_of("demand_hits") < raw_hits) {
+                complain("sampled tree '" + prefix +
+                         "': scaled demand_hits below the raw count");
+            }
+            if (count_of("demand_misses") < raw_misses) {
+                complain("sampled tree '" + prefix +
+                         "': scaled demand_misses below the raw count");
+            }
+            if (count_of("demand_accesses") < raw_hits + raw_misses) {
+                complain("sampled tree '" + prefix +
+                         "': scaled demand_accesses below the raw count");
+            }
+            const auto mr = gauges.find(prefix + "demand_miss_rate");
+            const auto se = gauges.find(prefix + "relative_stderr");
+            if (mr != gauges.end() &&
+                (mr->second < 0.0 || mr->second > 1.0)) {
+                complain("sampled tree '" + prefix +
+                         "': demand_miss_rate outside [0, 1]");
+            }
+            // A per-cell tree carries both gauges or neither; only
+            // the counters-only aggregates may omit them.
+            if ((mr == gauges.end()) != (se == gauges.end())) {
+                complain("sampled tree '" + prefix +
+                         "' carries only one of demand_miss_rate / "
+                         "relative_stderr");
+            }
         }
     }
 
